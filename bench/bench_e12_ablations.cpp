@@ -1,0 +1,160 @@
+// E12 — ablations of the paper's slot-level design choices:
+//  (a) §2.2 mod-3 level gating: "This increases the duration of our
+//      protocols by a factor of 3" — but confines collisions to adjacent
+//      levels. Measured cost factor on collection.
+//  (b) §3 ack subslots: "it slows down the protocol by a factor of 2" —
+//      the price of deterministic, loss-free climbing.
+//  (c) §1.4 separate channels vs odd/even time multiplexing for the
+//      broadcast service.
+//  (d) Decay invocation length: the 2 ceil(log2 Delta) choice vs shorter
+//      and longer invocations (collection completion time).
+
+#include <vector>
+
+#include "common.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/broadcast_service.h"
+#include "protocols/collection.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+#include "support/util.h"
+
+using namespace radiomc;
+using namespace radiomc::bench;
+
+namespace {
+
+std::vector<Message> workload(const Graph& g, int k, Rng& r) {
+  std::vector<Message> init;
+  for (int i = 0; i < k; ++i) {
+    Message m;
+    m.kind = MsgKind::kData;
+    m.origin = static_cast<NodeId>(1 + r.next_below(g.num_nodes() - 1));
+    m.seq = static_cast<std::uint32_t>(i);
+    init.push_back(m);
+  }
+  return init;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(0xE12);
+  const Graph g = gen::grid(6, 6);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const int k = 64;
+
+  header("E12a: mod-3 level gating (§2.2)",
+         "gating multiplies the slot budget by 3; without it collisions "
+         "cross levels but acks keep the protocol correct");
+  {
+    OnlineStats with, without;
+    for (int rep = 0; rep < 4; ++rep) {
+      Rng r = rng.split(rep);
+      auto init = workload(g, k, r);
+      with.add(static_cast<double>(
+          run_collection(g, tree, init, CollectionConfig::for_graph(g),
+                         r.next())
+              .slots));
+      CollectionConfig cfg = CollectionConfig::for_graph(g);
+      cfg.slots.mod3_gating = false;
+      without.add(static_cast<double>(
+          run_collection(g, tree, init, cfg, r.next()).slots));
+    }
+    Table t({"variant", "slots", "factor"});
+    t.row({"mod3 on", num(with.mean(), 0), num(with.mean() / without.mean(), 2)});
+    t.row({"mod3 off", num(without.mean(), 0), "1.00"});
+    verdict(with.mean() / without.mean() < 3.2,
+            "observed slow-down at most the paper's x3 (often less: gated "
+            "phases waste fewer transmissions on cross-level collisions)");
+  }
+
+  header("E12b: acknowledgement subslots (§3)",
+         "acks halve the data rate (x2 slots) but make every hop loss-free");
+  {
+    // Correctness requires acks; the x2 is structural. We surface it by
+    // counting data opportunities per phase with and without ack subslots.
+    SlotStructure with_acks;
+    with_acks.decay_len = decay_length(g.max_degree());
+    SlotStructure no_acks = with_acks;
+    no_acks.ack_subslots = false;
+    PhaseClock cw(with_acks), cn(no_acks);
+    Table t({"variant", "slots/phase"});
+    t.row({"acks on", num(std::uint64_t(cw.slots_per_phase()))});
+    t.row({"acks off", num(std::uint64_t(cn.slots_per_phase()))});
+    verdict(cw.slots_per_phase() == 2 * cn.slots_per_phase(),
+            "exactly the paper's factor 2");
+  }
+
+  header("E12c: separate channels vs time multiplexing (§1.4)",
+         "odd/even multiplexing halves each subprotocol's rate: ~2x slots");
+  {
+    OnlineStats sep, tdm;
+    for (int rep = 0; rep < 3; ++rep) {
+      Rng r = rng.split(100 + rep);
+      std::vector<NodeId> sources;
+      for (int i = 0; i < 32; ++i)
+        sources.push_back(static_cast<NodeId>(r.next_below(g.num_nodes())));
+      BroadcastServiceConfig c1 = BroadcastServiceConfig::for_graph(g);
+      sep.add(static_cast<double>(
+          run_k_broadcast(g, tree, sources, c1, r.next()).slots));
+      BroadcastServiceConfig c2 = BroadcastServiceConfig::for_graph(g);
+      c2.mode = BroadcastServiceConfig::ChannelMode::kTimeDivision;
+      tdm.add(static_cast<double>(
+          run_k_broadcast(g, tree, sources, c2, r.next()).slots));
+    }
+    Table t({"variant", "slots", "factor"});
+    t.row({"separate ch", num(sep.mean(), 0), "1.00"});
+    t.row({"time division", num(tdm.mean(), 0), num(tdm.mean() / sep.mean(), 2)});
+    verdict(tdm.mean() / sep.mean() > 1.3 && tdm.mean() / sep.mean() < 3.0,
+            "multiplexing costs about the expected factor 2");
+  }
+
+  header("E12d: Decay length under high fan-in",
+         "Decay must survive log2(Delta) halvings to isolate one of Delta "
+         "contenders: short invocations collapse on a star, overlong ones "
+         "waste slots linearly; 2 ceil(log2 Delta) is near the knee");
+  {
+    // 64 leaves all contending for the hub: the worst case Decay's
+    // 2 log2(Delta) length is designed for. (On low-degree graphs like the
+    // grid, shorter invocations win — the length is a worst-case choice.)
+    const Graph star = gen::star(65);
+    const BfsTree stree = oracle_bfs_tree(star, 0);
+    const std::uint32_t base = decay_length(star.max_degree());  // 12
+    // A too-short Decay essentially never isolates one of 64 contenders
+    // (success ~ 32 * 2^-32 per phase for len = 2), so cap the runs and
+    // report the cap as "did not finish" — which is itself the result.
+    const SlotTime cap = 300'000;
+    Table t({"decay_len", "collection slots"});
+    double best = 1e18, at_base = 0;
+    for (std::uint32_t len : {2u, 4u, 8u, base, 2 * base, 4 * base}) {
+      OnlineStats s;
+      bool finished = true;
+      for (int rep = 0; rep < 3; ++rep) {
+        Rng r = rng.split(200 + len * 10 + rep);
+        std::vector<Message> init;
+        for (NodeId v = 1; v < star.num_nodes(); ++v) {
+          Message m;
+          m.kind = MsgKind::kData;
+          m.origin = v;
+          init.push_back(m);
+        }
+        CollectionConfig cfg = CollectionConfig::for_graph(star);
+        cfg.slots.decay_len = len;
+        const auto out = run_collection(star, stree, init, cfg, r.next(), cap);
+        finished = finished && out.completed;
+        s.add(static_cast<double>(out.slots));
+      }
+      if (len == base) at_base = s.mean();
+      best = std::min(best, s.mean());
+      t.row({num(std::uint64_t(len)),
+             finished ? num(s.mean(), 0)
+                      : (">" + num(std::uint64_t(cap)) + " (DNF)")});
+    }
+    verdict(at_base < 1.6 * best,
+            "the paper's 2 log2(Delta) sits within 60% of the empirical "
+            "best under Delta-way contention");
+  }
+  return 0;
+}

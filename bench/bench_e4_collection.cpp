@@ -1,0 +1,85 @@
+// E4 — §4 / Theorem 4.4:
+//   "k point-to-point transmissions require O((k + D) log Delta) time on
+//    the average. ... The expected number of time slots for k messages to
+//    reach the root is bounded by 32.27 (k + D) log Delta."
+//
+// Sweep k on a fixed topology; report measured slots against the explicit
+// 32.27 (k+D) log2(Delta) bound. The paper folds the §2.2 mod-3 gating
+// factor (x3) out of its constant, so the gated and ungated runs are both
+// shown; the ungated run must sit under the paper's own constant, the
+// gated run under 3x it. The marginal column exhibits §4's throughput
+// claim: a new message every O(log Delta) slots.
+
+#include <vector>
+
+#include "common.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/collection.h"
+#include "protocols/tree.h"
+#include "queueing/analysis.h"
+#include "support/rng.h"
+
+using namespace radiomc;
+using namespace radiomc::bench;
+
+int main() {
+  header("E4: k-message collection vs Theorem 4.4",
+         "E[slots] <= 32.27 (k+D) log2(Delta); marginal cost O(log Delta) "
+         "per message");
+
+  const Graph g = gen::grid(8, 8);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const std::uint32_t d = tree.depth;
+  Rng rng(0xE4);
+
+  auto workload = [&](std::uint64_t k, Rng& r) {
+    std::vector<Message> init;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      Message m;
+      m.kind = MsgKind::kData;
+      m.origin = static_cast<NodeId>(1 + r.next_below(g.num_nodes() - 1));
+      m.seq = static_cast<std::uint32_t>(i);
+      init.push_back(m);
+    }
+    return init;
+  };
+
+  Table t({"k", "slots(mod3)", "slots(plain)", "bound", "plain/bound",
+           "mod3/3bound", "marginal/msg"});
+  bool ok = true;
+  double prev_plain = 0;
+  std::uint64_t prev_k = 0;
+  for (std::uint64_t k : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    OnlineStats gated, plain;
+    for (int rep = 0; rep < 3; ++rep) {
+      Rng r = rng.split(k * 10 + rep);
+      auto init = workload(k, r);
+      gated.add(static_cast<double>(
+          run_collection(g, tree, init, CollectionConfig::for_graph(g),
+                         r.next())
+              .slots));
+      CollectionConfig cfg = CollectionConfig::for_graph(g);
+      cfg.slots.mod3_gating = false;
+      plain.add(static_cast<double>(
+          run_collection(g, tree, init, cfg, r.next()).slots));
+    }
+    const double bound = queueing::thm44_slot_bound(k, d, g.max_degree());
+    const double marginal =
+        prev_k ? (plain.mean() - prev_plain) / static_cast<double>(k - prev_k)
+               : 0.0;
+    ok = ok && plain.mean() <= bound && gated.mean() <= 3 * bound;
+    t.row({num(k), num(gated.mean(), 0), num(plain.mean(), 0), num(bound, 0),
+           num(plain.mean() / bound, 2), num(gated.mean() / (3 * bound), 2),
+           prev_k ? num(marginal, 1) : std::string("-")});
+    prev_plain = plain.mean();
+    prev_k = k;
+  }
+  verdict(ok, "measured completion sits under Theorem 4.4's constant");
+  std::printf(
+      "   note: D = %u, Delta = %u, log2(Delta) = 2; a marginal cost of a "
+      "few slots per message IS the 'new transmission every O(log Delta) "
+      "slots' claim.\n",
+      d, g.max_degree());
+  return 0;
+}

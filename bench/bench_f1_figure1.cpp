@@ -1,0 +1,101 @@
+// F1 — Figure 1, the only figure in the paper: the four-node scenario in
+// the proof of Theorem 3.1. Nodes u, v, u', v' with edges u-v, u'-v' and
+// the cross edges u-v', u'-v. If v received u's message at slot t and u
+// missed the acknowledgement, some v' != v must have acked at t+1 — but
+// then v' received a message designated to it from some u'' != u at t,
+// which makes two transmitting neighbors of v' at slot t: contradiction.
+//
+// This binary executes the scenario for every transmitter subset and
+// prints the slot-by-slot outcome, demonstrating the contradiction is
+// vacuous (the bad case never materializes) and the ack is deterministic.
+
+#include <cstdio>
+
+#include "graph/graph.h"
+#include "radio/network.h"
+#include "radio/station.h"
+
+#include <deque>
+#include <memory>
+
+using namespace radiomc;
+
+namespace {
+
+class Probe final : public Station {
+ public:
+  NodeId me = 0;
+  bool sends = false;
+  NodeId designated = kNoNode;
+  bool got_data = false;
+  NodeId data_from = kNoNode;
+  bool got_ack = false;
+
+  void on_slot(SlotTime t, std::span<std::optional<Message>> tx) override {
+    if (t == 0 && sends) {
+      Message m;
+      m.kind = MsgKind::kData;
+      m.origin = me;
+      m.dest = designated;
+      tx[0] = m;
+    } else if (t == 1 && got_data) {
+      Message ack;
+      ack.kind = MsgKind::kAck;
+      ack.dest = data_from;
+      tx[0] = ack;
+    }
+  }
+  void on_receive(SlotTime t, ChannelId, const Message& m) override {
+    if (t == 0 && m.kind == MsgKind::kData && m.dest == me) {
+      got_data = true;
+      data_from = m.sender;
+    } else if (t == 1 && m.kind == MsgKind::kAck && m.dest == me) {
+      got_ack = true;
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== F1: Figure 1 / Theorem 3.1 scenario ==\n");
+  std::printf("   graph: u(0)-v(1), u'(2)-v'(3), cross edges u-v', u'-v\n\n");
+  const Graph g(4, {{0, 1}, {2, 3}, {0, 3}, {2, 1}});
+  const char* names[4] = {"u ", "v ", "u'", "v'"};
+
+  bool theorem_holds = true;
+  for (int mask = 0; mask < 4; ++mask) {
+    std::deque<Probe> probes(4);
+    for (NodeId i = 0; i < 4; ++i) probes[i].me = i;
+    if (mask & 1) {
+      probes[0].sends = true;
+      probes[0].designated = 1;
+    }
+    if (mask & 2) {
+      probes[2].sends = true;
+      probes[2].designated = 3;
+    }
+    RadioNetwork net(g);
+    net.attach({&probes[0], &probes[1], &probes[2], &probes[3]});
+    net.run(2);
+
+    std::printf("   transmitters:%s%s%s\n", (mask & 1) ? " u->v" : "",
+                (mask & 2) ? " u'->v'" : "", mask == 0 ? " (none)" : "");
+    for (NodeId i = 0; i < 4; ++i) {
+      const Probe& p = probes[i];
+      if (p.sends)
+        std::printf("     %s sent to %s: %s\n", names[i],
+                    names[p.designated],
+                    probes[p.designated].got_data
+                        ? (p.got_ack ? "received, ACKED (Thm 3.1)"
+                                     : "received, ACK LOST (!!)")
+                        : "collided (silence, no false ack)");
+      if (p.sends && probes[p.designated].got_data && !p.got_ack)
+        theorem_holds = false;
+    }
+  }
+  std::printf("\n   [%s] every received message was acknowledged with "
+              "certainty\n",
+              theorem_holds ? "SHAPE OK" : "MISMATCH");
+  return theorem_holds ? 0 : 1;
+}

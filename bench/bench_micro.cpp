@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate itself:
+// how fast the engine, Decay, the queueing models and the RNG run. These
+// are engineering numbers (simulator throughput), not paper claims.
+
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <memory>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/collection.h"
+#include "protocols/decay.h"
+#include "protocols/tree.h"
+#include "queueing/models.h"
+#include "queueing/tandem.h"
+#include "radio/network.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBernoulli(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.bernoulli(0.3));
+}
+BENCHMARK(BM_RngBernoulli);
+
+/// Engine slot throughput with all nodes idle (pure dispatch overhead).
+class IdleStation final : public Station {
+ public:
+  void on_slot(SlotTime, std::span<std::optional<Message>>) override {}
+  void on_receive(SlotTime, ChannelId, const Message&) override {}
+};
+
+void BM_EngineIdleSlot(benchmark::State& state) {
+  const Graph g = gen::grid(static_cast<NodeId>(state.range(0)),
+                            static_cast<NodeId>(state.range(0)));
+  std::deque<IdleStation> st(g.num_nodes());
+  std::vector<Station*> ptrs;
+  for (auto& s : st) ptrs.push_back(&s);
+  RadioNetwork net(g);
+  net.attach(std::move(ptrs));
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_EngineIdleSlot)->Arg(8)->Arg(16)->Arg(32);
+
+/// Engine slot throughput with every node transmitting (dense superposition).
+class ChattyStation final : public Station {
+ public:
+  void on_slot(SlotTime, std::span<std::optional<Message>> tx) override {
+    tx[0] = Message{};
+  }
+  void on_receive(SlotTime, ChannelId, const Message&) override {}
+};
+
+void BM_EngineBusySlot(benchmark::State& state) {
+  const Graph g = gen::grid(static_cast<NodeId>(state.range(0)),
+                            static_cast<NodeId>(state.range(0)));
+  std::deque<ChattyStation> st(g.num_nodes());
+  std::vector<Station*> ptrs;
+  for (auto& s : st) ptrs.push_back(&s);
+  RadioNetwork net(g);
+  net.attach(std::move(ptrs));
+  for (auto _ : state) net.step();
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_EngineBusySlot)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DecayInvocation(benchmark::State& state) {
+  const Graph g = gen::star(33);
+  Rng rng(3);
+  std::vector<NodeId> tx;
+  for (NodeId v = 1; v < 33; ++v) tx.push_back(v);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(decay_single_trial(g, 0, tx, 10, rng));
+}
+BENCHMARK(BM_DecayInvocation);
+
+void BM_CollectionFullRun(benchmark::State& state) {
+  const Graph g = gen::grid(5, 5);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  Rng rng(4);
+  for (auto _ : state) {
+    std::vector<Message> init;
+    for (NodeId v = 1; v < g.num_nodes(); ++v) {
+      Message m;
+      m.kind = MsgKind::kData;
+      m.origin = v;
+      init.push_back(m);
+    }
+    benchmark::DoNotOptimize(
+        run_collection(g, tree, init, CollectionConfig::for_graph(g),
+                       rng.next()));
+  }
+}
+BENCHMARK(BM_CollectionFullRun);
+
+void BM_TandemStep(benchmark::State& state) {
+  Rng rng(5);
+  queueing::TandemQueue q(static_cast<std::uint32_t>(state.range(0)), 0.25,
+                          rng.split(1));
+  for (auto _ : state) benchmark::DoNotOptimize(q.step(0.2));
+}
+BENCHMARK(BM_TandemStep)->Arg(8)->Arg(64);
+
+void BM_Model4Completion(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        queueing::run_model4(64, 16, 0.25, 0.12, rng));
+}
+BENCHMARK(BM_Model4Completion);
+
+void BM_OracleBfs(benchmark::State& state) {
+  const Graph g = gen::grid(static_cast<NodeId>(state.range(0)),
+                            static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(oracle_bfs_tree(g, 0));
+}
+BENCHMARK(BM_OracleBfs)->Arg(16)->Arg(64);
+
+void BM_GraphNeighborIteration(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::gnp_connected(256, 0.05, rng);
+  NodeId v = 0;
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (NodeId u : g.neighbors(v)) acc += u;
+    benchmark::DoNotOptimize(acc);
+    v = (v + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_GraphNeighborIteration);
+
+}  // namespace
+}  // namespace radiomc
+
+BENCHMARK_MAIN();

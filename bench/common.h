@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared experiment-harness helpers: fixed-width table printing (every
+// bench prints paper-claim vs measured columns) and seed-averaged runs.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace radiomc::bench {
+
+/// Prints "== E4: ... ==" style experiment headers.
+inline void header(const std::string& id, const std::string& claim) {
+  std::printf("\n== %s ==\n   claim: %s\n", id.c_str(), claim.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 17)
+      : cols_(std::move(columns)), width_(width) {
+    for (const auto& c : cols_) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols_.size(); ++i)
+      std::printf("%*s", width_, "------------");
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> cols_;
+  int width_;
+};
+
+inline std::string num(double v, int precision = 1) {
+  return fmt(v, precision);
+}
+inline std::string num(std::uint64_t v) { return std::to_string(v); }
+
+/// Averages `f(seed)` over `seeds` runs.
+template <typename F>
+OnlineStats mean_over_seeds(int seeds, std::uint64_t base, F&& f) {
+  OnlineStats s;
+  for (int i = 0; i < seeds; ++i)
+    s.add(static_cast<double>(f(base + static_cast<std::uint64_t>(i))));
+  return s;
+}
+
+inline void verdict(bool pass, const std::string& what) {
+  std::printf("   [%s] %s\n", pass ? "SHAPE OK" : "MISMATCH", what.c_str());
+}
+
+}  // namespace radiomc::bench

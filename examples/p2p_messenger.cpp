@@ -1,0 +1,72 @@
+// A point-to-point messenger over a multi-hop radio mesh — §5's workload:
+// arbitrary station pairs exchange unicast messages concurrently.
+//
+// After the setup phase every station is addressed by its DFS number;
+// messages climb to the least common ancestor and descend by interval
+// containment. The example runs a "chat burst": every station messages a
+// random peer, twice, all at once — and reports delivery latency
+// statistics, plus the §7 ranking protocol as a directory service
+// (stations get compact consecutive ids).
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.h"
+#include "protocols/point_to_point.h"
+#include "protocols/ranking.h"
+#include "protocols/setup.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+using namespace radiomc;
+
+int main() {
+  Rng rng(31);
+  const Graph mesh =
+      gen::unit_disk_connected(50, gen::udg_connect_radius(50), rng);
+  std::printf("radio mesh: %u stations, %zu links, Delta=%u\n",
+              mesh.num_nodes(), mesh.num_edges(), mesh.max_degree());
+
+  const SetupOutcome setup = run_setup(mesh, 41);
+  if (!setup.ok) return 1;
+  PreparationResult prep;
+  prep.ok = true;
+  prep.labels = setup.labels;
+  prep.routing = setup.routing;
+
+  // Chat burst: every station sends 2 messages to random peers.
+  std::vector<P2pRequest> burst;
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v)
+    for (int j = 0; j < 2; ++j)
+      burst.push_back({v,
+                       static_cast<NodeId>(rng.next_below(mesh.num_nodes())),
+                       (static_cast<std::uint64_t>(v) << 8) | j});
+  const auto out = run_point_to_point(mesh, prep, burst,
+                                      P2pConfig::for_graph(mesh), rng.next());
+  if (!out.completed) {
+    std::printf("burst did not complete\n");
+    return 1;
+  }
+
+  OnlineStats latency;
+  for (auto s : out.delivery_slot)
+    latency.add(static_cast<double>(s));
+  std::printf("chat burst: %zu messages, done in %llu slots\n", burst.size(),
+              static_cast<unsigned long long>(out.slots));
+  std::printf("delivery slots: mean %.0f, min %.0f, max %.0f "
+              "(concurrent pipelining: mean << completion)\n",
+              latency.mean(), latency.min(), latency.max());
+
+  // Directory service: order-preserving compact ids via §7 ranking.
+  std::vector<std::uint64_t> serials(mesh.num_nodes());
+  for (auto& s : serials) s = 0x1000000 + rng.next_below(0xFFFFFF);
+  const RankingOutcome ranks = run_ranking(mesh, prep, serials, rng.next());
+  if (!ranks.completed) return 1;
+  std::printf("ranking: %u stations renumbered 1..%u in %llu slots "
+              "(order-preserving on their serial numbers)\n",
+              mesh.num_nodes(), mesh.num_nodes(),
+              static_cast<unsigned long long>(ranks.total_slots()));
+  std::printf("  e.g. station 0: serial %#llx -> compact id %u\n",
+              static_cast<unsigned long long>(serials[0]), ranks.rank[0]);
+  return 0;
+}

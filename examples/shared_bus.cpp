@@ -1,0 +1,79 @@
+// A virtual Ethernet over a multi-hop radio mesh — §1.3's punchline:
+// "protocols designed for the ETHERNET [can be used] in a multi-hop
+// network".
+//
+// The VirtualEthernet service turns the whole mesh into one shared slotted
+// bus with exact ternary feedback (silence / success / collision) at every
+// station. On top of it we run the classic binary-exponential-backoff MAC:
+// stations contend, collide, back off, and eventually drain their
+// backlogs — exactly as they would on a single cable, except the "cable"
+// is the paper's collection + distribution machinery.
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.h"
+#include "protocols/ethernet_emulation.h"
+#include "protocols/setup.h"
+#include "support/rng.h"
+
+using namespace radiomc;
+
+int main() {
+  Rng rng(77);
+  const Graph mesh = gen::grid(4, 5);
+  std::printf("mesh: 4x5 grid (%u stations)\n", mesh.num_nodes());
+
+  const SetupOutcome setup = run_setup(mesh, 78);
+  if (!setup.ok) return 1;
+
+  // First: watch the raw bus feedback on a scripted contention pattern.
+  {
+    VirtualEthernet bus(mesh, setup.tree,
+                        VirtualEthernet::Config::for_graph(mesh), 79);
+    bus.set_policy([](NodeId v, std::uint32_t round)
+                       -> std::optional<std::uint32_t> {
+      // Round 0: stations 4 and 9 collide. Round 1: only 4 retries.
+      // Round 2: only 9. Round 3: silence.
+      if (round == 0 && (v == 4 || v == 9)) return 100 + v;
+      if (round == 1 && v == 4) return 104;
+      if (round == 2 && v == 9) return 109;
+      return std::nullopt;
+    });
+    const auto log = bus.run_rounds(4);
+    const char* names[] = {"SILENCE", "SUCCESS", "COLLISION"};
+    std::printf("\nscripted contention on the virtual bus:\n");
+    for (const auto& o : log) {
+      std::printf("  round %u: %-9s", o.round,
+                  names[static_cast<int>(o.kind)]);
+      if (o.kind == VirtualEthernet::Feedback::kSuccess)
+        std::printf("  winner=station %u frame=%u", o.winner, o.frame);
+      std::printf("\n");
+    }
+    std::printf("  (all %u stations observed this exact sequence; one bus "
+                "round costs ~%llu radio slots here)\n",
+                mesh.num_nodes(),
+                static_cast<unsigned long long>(bus.now() / log.size()));
+  }
+
+  // Second: the Ethernet MAC. Everyone has frames; exponential backoff
+  // sorts out the contention using only the shared feedback.
+  {
+    std::vector<std::uint32_t> backlog(mesh.num_nodes(), 2);
+    const BackoffOutcome out =
+        run_ethernet_backoff(mesh, setup.tree, backlog, 80);
+    if (!out.completed) {
+      std::printf("backoff failed to drain\n");
+      return 1;
+    }
+    std::printf("\nbinary exponential backoff: %zu frames drained in %u bus "
+                "rounds (%llu radio slots)\n",
+                out.delivered_frames.size(), out.rounds_used,
+                static_cast<unsigned long long>(out.slots));
+    std::printf("efficiency: %.2f frames per round (1.0 would be a perfect "
+                "schedule; ~0.37 is slotted-ALOHA territory)\n",
+                static_cast<double>(out.delivered_frames.size()) /
+                    out.rounds_used);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "baselines/naive_kbroadcast.h"
+
+#include "graph/algorithms.h"
+#include "protocols/bgi_broadcast.h"
+#include "support/rng.h"
+#include "support/util.h"
+
+namespace radiomc::baselines {
+
+NaiveBroadcastOutcome run_naive_k_broadcast(
+    const Graph& g, const std::vector<NodeId>& sources, std::uint64_t seed,
+    SlotTime max_slots) {
+  const NodeId n = g.num_nodes();
+  NaiveBroadcastOutcome out;
+  Rng master(seed);
+
+  // Each flood gets a generous phase budget; incomplete floods are rerun
+  // (counted), so the baseline is as loss-free as the pipeline it is
+  // compared with. The double-sweep diameter estimate stands in for the
+  // budget a deployment would derive from n.
+  const std::uint64_t phases =
+      4 * (static_cast<std::uint64_t>(diameter_double_sweep(g)) +
+           2 * ceil_log2(n < 2 ? 2 : n) + 2);
+
+  for (NodeId src : sources) {
+    for (;;) {
+      const BgiOutcome flood =
+          run_bgi_broadcast(g, src, phases, master.next());
+      out.slots += flood.slots;
+      ++out.floods_run;
+      if (flood.informed_count == n) break;
+      if (out.slots >= max_slots) return out;
+    }
+  }
+  out.completed = out.slots < max_slots;
+  return out;
+}
+
+}  // namespace radiomc::baselines

@@ -1,0 +1,32 @@
+#pragma once
+
+// Naive k-broadcast baseline (§6: "In principle the message can be sent
+// using the BFS protocol. However, each message would require
+// 2 D log Delta log n time to reach all the nodes"): one full BGI flood per
+// message, strictly sequentially. Cost Theta(k (D + log n) log Delta)
+// versus the pipeline's O((k + D) log Delta log n). Experiment E11 shows
+// the pipelining win growing with k.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "radio/message.h"
+
+namespace radiomc::baselines {
+
+struct NaiveBroadcastOutcome {
+  bool completed = false;
+  SlotTime slots = 0;
+  std::uint64_t floods_run = 0;  ///< includes per-message retries
+};
+
+/// Broadcasts one message per source, sequentially; each flood runs in
+/// rounds of `phases_per_round` phases until all nodes are informed (a
+/// round failing to finish the flood is simply followed by another).
+NaiveBroadcastOutcome run_naive_k_broadcast(const Graph& g,
+                                            const std::vector<NodeId>& sources,
+                                            std::uint64_t seed,
+                                            SlotTime max_slots = 500'000'000);
+
+}  // namespace radiomc::baselines

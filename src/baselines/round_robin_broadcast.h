@@ -1,0 +1,35 @@
+#pragma once
+
+// Deterministic round-robin broadcast: informed nodes transmit one at a
+// time in a global id-indexed TDMA frame, so there is never a collision
+// and the flood advances at least one BFS level per frame — completing in
+// at most D frames of n slots each.
+//
+// This is the natural deterministic comparison point for §1.3's
+// exponential gap: Bar-Yehuda, Goldreich & Itai prove every deterministic
+// broadcast needs Omega(n) slots on some D = 2 network, while their
+// randomized protocol needs O((D + log(n/eps)) log Delta). Experiment E14
+// measures the representative instance: Theta(n) for round robin vs
+// polylog for the randomized flood on D = 2 graphs.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "radio/message.h"
+
+namespace radiomc::baselines {
+
+struct RoundRobinBroadcastOutcome {
+  bool completed = false;
+  SlotTime slots = 0;          ///< slot of the last first-reception
+  std::uint64_t collisions = 0;  ///< must be 0
+  std::vector<SlotTime> informed_at;
+};
+
+/// Floods one message from `source`; runs until all nodes are informed (at
+/// most D frames) or `max_frames` frames pass.
+RoundRobinBroadcastOutcome run_round_robin_broadcast(
+    const Graph& g, NodeId source, std::uint64_t max_frames = 0 /*0 = n*/);
+
+}  // namespace radiomc::baselines

@@ -1,0 +1,91 @@
+#include "baselines/tdma_collection.h"
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "radio/station.h"
+#include "support/util.h"
+
+namespace radiomc::baselines {
+
+namespace {
+
+class TdmaStation final : public SubStation {
+ public:
+  TdmaStation(NodeId me, NodeId n, NodeId parent, bool is_root)
+      : me_(me), n_(n), parent_(parent), is_root_(is_root) {}
+
+  void enqueue(const Message& m) { buffer_.push_back(m); }
+  std::size_t delivered() const noexcept { return delivered_; }
+
+  std::optional<Message> poll(SlotTime t) override {
+    if (is_root_ || buffer_.empty()) return std::nullopt;
+    if (t % n_ != me_) return std::nullopt;  // my frame slot
+    Message m = buffer_.front();
+    buffer_.pop_front();  // single global transmitter: reception is certain
+    m.sender = me_;
+    m.sender_parent = parent_;
+    return m;
+  }
+
+  void deliver(SlotTime, const Message& m) override {
+    if (m.sender_parent != me_) return;  // not from one of my children
+    if (is_root_) {
+      ++delivered_;
+    } else {
+      buffer_.push_back(m);
+    }
+  }
+
+ private:
+  NodeId me_;
+  NodeId n_;
+  NodeId parent_;
+  bool is_root_;
+  std::deque<Message> buffer_;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace
+
+TdmaOutcome run_tdma_collection(const Graph& g, const BfsTree& tree,
+                                const std::vector<NodeId>& sources,
+                                SlotTime max_slots) {
+  const NodeId n = g.num_nodes();
+  require(tree.num_nodes() == n, "run_tdma_collection: tree/graph mismatch");
+
+  std::vector<std::unique_ptr<TdmaStation>> stations;
+  stations.reserve(n);
+  for (NodeId v = 0; v < n; ++v)
+    stations.push_back(std::make_unique<TdmaStation>(
+        v, n, tree.parent[v], v == tree.root));
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    Message m;
+    m.kind = MsgKind::kData;
+    m.origin = sources[i];
+    m.seq = static_cast<std::uint32_t>(i);
+    if (sources[i] == tree.root) continue;  // already at the sink
+    stations[sources[i]]->enqueue(m);
+    ++expected;
+  }
+
+  std::deque<SingleStation> adapters;
+  std::vector<Station*> ptrs;
+  for (auto& s : stations) adapters.emplace_back(*s);
+  for (auto& a : adapters) ptrs.push_back(&a);
+  RadioNetwork net(g);
+  net.attach(std::move(ptrs));
+
+  TdmaOutcome out;
+  while (stations[tree.root]->delivered() < expected &&
+         net.now() < max_slots)
+    net.step();
+  out.completed = stations[tree.root]->delivered() >= expected;
+  out.slots = net.now();
+  out.collisions = net.metrics().collision_events;
+  return out;
+}
+
+}  // namespace radiomc::baselines

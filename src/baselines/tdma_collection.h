@@ -1,0 +1,28 @@
+#pragma once
+
+// Deterministic TDMA baseline for collection: a frame of n slots, one per
+// node; in its slot a node forwards the head of its buffer to its BFS
+// parent. With a single transmitter network-wide per slot there are no
+// collisions and no acknowledgements are needed — but the frame costs n
+// slots, so k messages take Theta((k + D) n) slots versus the paper's
+// O((k + D) log Delta). Experiment E11 measures the crossover.
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/tree.h"
+#include "radio/network.h"
+
+namespace radiomc::baselines {
+
+struct TdmaOutcome {
+  bool completed = false;
+  SlotTime slots = 0;
+  std::uint64_t collisions = 0;  ///< must be 0
+};
+
+TdmaOutcome run_tdma_collection(const Graph& g, const BfsTree& tree,
+                                const std::vector<NodeId>& sources,
+                                SlotTime max_slots = 500'000'000);
+
+}  // namespace radiomc::baselines

@@ -1,0 +1,44 @@
+#pragma once
+
+// Centralized broadcast scheduling in the spirit of Chlamtac & Weinstein
+// [8] ("the wave expansion approach"): given full knowledge of the
+// topology, compute a collision-free schedule — a sequence of transmitter
+// sets — that spreads one message from a source to all nodes, and execute
+// it on the radio engine to verify collision-freedom at every receiver
+// that the round intends to cover.
+//
+// The greedy set-selection per round delivers the O(D log^2 n) flavor of
+// [8]; the paper cites it as the centralized/deterministic comparison
+// point for the randomized protocols (§1.3), and Alon et al. [1] show
+// Omega(log^2 n) rounds are necessary for D = 2, so the shape is tight.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "radio/message.h"
+
+namespace radiomc::baselines {
+
+struct WaveSchedule {
+  NodeId source = 0;
+  /// rounds[t] = the set of nodes transmitting in slot t.
+  std::vector<std::vector<NodeId>> rounds;
+};
+
+/// Computes a schedule by greedy maximum-new-coverage transmitter
+/// selection per round (each round informs every uninformed node with
+/// exactly one selected transmitting neighbor).
+WaveSchedule compute_wave_schedule(const Graph& g, NodeId source);
+
+struct WaveOutcome {
+  bool all_informed = false;
+  SlotTime slots = 0;
+};
+
+/// Replays the schedule on the radio engine and checks that it informs
+/// every node (scheduled transmissions are deterministic, so this is a
+/// validation of the schedule, not a probabilistic run).
+WaveOutcome execute_wave_schedule(const Graph& g, const WaveSchedule& s);
+
+}  // namespace radiomc::baselines

@@ -1,0 +1,106 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/util.h"
+
+namespace radiomc {
+
+BfsResult bfs(const Graph& g, NodeId root) {
+  require(root < g.num_nodes(), "bfs: root out of range");
+  const NodeId n = g.num_nodes();
+  BfsResult r;
+  r.dist.assign(n, BfsResult::kUnreached);
+  r.parent.assign(n, kNoNode);
+  std::vector<NodeId> frontier{root};
+  r.dist[root] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (r.dist[v] == BfsResult::kUnreached) {
+          r.dist[v] = depth + 1;
+          r.parent[v] = u;
+          next.push_back(v);
+        } else if (r.dist[v] == depth + 1 && u < r.parent[v]) {
+          r.parent[v] = u;  // deterministic smallest-id parent
+        }
+      }
+    }
+    if (!next.empty()) r.eccentricity = depth + 1;
+    frontier = std::move(next);
+    ++depth;
+  }
+  return r;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const BfsResult r = bfs(g, 0);
+  return std::none_of(r.dist.begin(), r.dist.end(), [](std::uint32_t d) {
+    return d == BfsResult::kUnreached;
+  });
+}
+
+std::uint32_t diameter(const Graph& g) {
+  require(g.num_nodes() > 0, "diameter: empty graph");
+  require(is_connected(g), "diameter: graph must be connected");
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    best = std::max(best, bfs(g, v).eccentricity);
+  return best;
+}
+
+std::uint32_t diameter_double_sweep(const Graph& g) {
+  require(g.num_nodes() > 0, "diameter_double_sweep: empty graph");
+  const BfsResult first = bfs(g, 0);
+  NodeId far = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (first.dist[v] != BfsResult::kUnreached &&
+        first.dist[v] > first.dist[far])
+      far = v;
+  return bfs(g, far).eccentricity;
+}
+
+DfsNumbering dfs_number_tree(const std::vector<NodeId>& parent, NodeId root) {
+  const auto n = static_cast<NodeId>(parent.size());
+  require(root < n, "dfs_number_tree: root out of range");
+  require(parent[root] == kNoNode, "dfs_number_tree: root must have no parent");
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    require(parent[v] < n, "dfs_number_tree: node without valid parent");
+    children[parent[v]].push_back(v);
+  }
+  for (auto& c : children) std::sort(c.begin(), c.end());
+
+  DfsNumbering out;
+  out.number.assign(n, 0);
+  out.max_desc.assign(n, 0);
+  // Iterative preorder with an explicit post-visit to fill max_desc.
+  std::uint32_t counter = 0;
+  struct Frame {
+    NodeId node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  out.number[root] = counter++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < children[f.node].size()) {
+      const NodeId c = children[f.node][f.next_child++];
+      out.number[c] = counter++;
+      stack.push_back({c, 0});
+    } else {
+      // When v's subtree finishes, counter-1 is the last preorder number
+      // handed out inside it.
+      out.max_desc[f.node] = counter - 1;
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace radiomc

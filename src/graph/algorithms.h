@@ -1,0 +1,49 @@
+#pragma once
+
+// Centralized (omniscient) graph algorithms.
+//
+// These are *verification and measurement* tools, not protocols: the
+// distributed protocols in src/protocols never call them for their own
+// decisions. Tests use them to check that the distributed BFS/DFS results
+// match ground truth, and benches use them to compute D and Delta for the
+// paper's bounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace radiomc {
+
+/// BFS layers from `root`: result.dist[v] is the hop distance (kUnreached
+/// if v is unreachable), result.parent[v] a BFS parent (kNoNode for root
+/// and unreachable nodes). Parents are the smallest-id neighbor in the
+/// previous layer, which makes the result deterministic.
+struct BfsResult {
+  static constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> parent;
+  std::uint32_t eccentricity = 0;  // max finite distance
+};
+BfsResult bfs(const Graph& g, NodeId root);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter by running BFS from every node. O(n * m); fine for the
+/// sizes in this repo's experiments.
+std::uint32_t diameter(const Graph& g);
+
+/// Lower bound on the diameter via a double BFS sweep (exact on trees).
+std::uint32_t diameter_double_sweep(const Graph& g);
+
+/// Preorder DFS numbering of a rooted tree given per-node parents.
+/// Children are visited in ascending id order. Returns preorder number and
+/// the maximum preorder number in each subtree (the paper's §5.1 "DFS number
+/// of each child and maximum DFS number of all descendants").
+struct DfsNumbering {
+  std::vector<std::uint32_t> number;    // preorder number, root gets 0
+  std::vector<std::uint32_t> max_desc;  // max preorder number in subtree
+};
+DfsNumbering dfs_number_tree(const std::vector<NodeId>& parent, NodeId root);
+
+}  // namespace radiomc

@@ -1,0 +1,191 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "support/util.h"
+
+namespace radiomc::gen {
+
+namespace {
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+}  // namespace
+
+Graph path(NodeId n) {
+  require(n >= 1, "path: n >= 1");
+  EdgeList e;
+  for (NodeId v = 0; v + 1 < n; ++v) e.emplace_back(v, v + 1);
+  return Graph(n, e);
+}
+
+Graph cycle(NodeId n) {
+  require(n >= 3, "cycle: n >= 3");
+  EdgeList e;
+  for (NodeId v = 0; v + 1 < n; ++v) e.emplace_back(v, v + 1);
+  e.emplace_back(n - 1, 0);
+  return Graph(n, e);
+}
+
+Graph complete(NodeId n) {
+  require(n >= 1, "complete: n >= 1");
+  EdgeList e;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) e.emplace_back(u, v);
+  return Graph(n, e);
+}
+
+Graph star(NodeId n) {
+  require(n >= 2, "star: n >= 2");
+  EdgeList e;
+  for (NodeId v = 1; v < n; ++v) e.emplace_back(0, v);
+  return Graph(n, e);
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  require(rows >= 1 && cols >= 1, "grid: dims >= 1");
+  const NodeId n = rows * cols;
+  EdgeList e;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) e.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return Graph(n, e);
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  require(rows >= 3 && cols >= 3, "torus: dims >= 3");
+  const NodeId n = rows * cols;
+  EdgeList e;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      e.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      e.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  return Graph(n, e);
+}
+
+Graph hypercube(std::uint32_t dims) {
+  require(dims >= 1 && dims <= 20, "hypercube: 1 <= dims <= 20");
+  const NodeId n = NodeId{1} << dims;
+  EdgeList e;
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t b = 0; b < dims; ++b) {
+      const NodeId u = v ^ (NodeId{1} << b);
+      if (v < u) e.emplace_back(v, u);
+    }
+  return Graph(n, e);
+}
+
+Graph rary_tree(NodeId n, std::uint32_t r) {
+  require(n >= 1 && r >= 1, "rary_tree: n >= 1, r >= 1");
+  EdgeList e;
+  for (NodeId v = 1; v < n; ++v) e.emplace_back((v - 1) / r, v);
+  return Graph(n, e);
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  require(n >= 1, "random_tree: n >= 1");
+  if (n == 1) return Graph(1, {});
+  if (n == 2) return Graph(2, {{0, 1}});
+  // Prufer decoding: uniform over labelled trees.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<NodeId>(rng.next_below(n));
+  std::vector<std::uint32_t> deg(n, 1);
+  for (NodeId p : prufer) ++deg[p];
+  EdgeList e;
+  // `ptr` scans for leaves in increasing order; `leaf` is the current leaf.
+  NodeId ptr = 0;
+  while (deg[ptr] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (NodeId p : prufer) {
+    e.emplace_back(leaf, p);
+    if (--deg[p] == 1 && p < ptr) {
+      leaf = p;
+    } else {
+      ++ptr;
+      while (deg[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  e.emplace_back(leaf, n - 1);
+  return Graph(n, e);
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  require(spine >= 1, "caterpillar: spine >= 1");
+  const NodeId n = spine * (legs + 1);
+  EdgeList e;
+  for (NodeId s = 0; s + 1 < spine; ++s) e.emplace_back(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s)
+    for (NodeId l = 0; l < legs; ++l) e.emplace_back(s, next++);
+  return Graph(n, e);
+}
+
+Graph barbell(NodeId clique, NodeId bridge) {
+  require(clique >= 2, "barbell: clique >= 2");
+  const NodeId n = 2 * clique + bridge;
+  EdgeList e;
+  for (NodeId u = 0; u < clique; ++u)
+    for (NodeId v = u + 1; v < clique; ++v) e.emplace_back(u, v);
+  const NodeId right = clique + bridge;
+  for (NodeId u = right; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) e.emplace_back(u, v);
+  // Path through the bridge (or a direct edge when bridge == 0).
+  NodeId prev = clique - 1;
+  for (NodeId b = 0; b < bridge; ++b) {
+    e.emplace_back(prev, clique + b);
+    prev = clique + b;
+  }
+  e.emplace_back(prev, right);
+  return Graph(n, e);
+}
+
+Graph gnp_connected(NodeId n, double p, Rng& rng, int max_attempts) {
+  require(n >= 1, "gnp: n >= 1");
+  require(p > 0.0 && p <= 1.0, "gnp: p in (0, 1]");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    EdgeList e;
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v)
+        if (rng.bernoulli(p)) e.emplace_back(u, v);
+    Graph g(n, e);
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error("gnp_connected: failed to sample a connected graph");
+}
+
+Graph unit_disk_connected(NodeId n, double radius, Rng& rng, int max_attempts) {
+  require(n >= 1, "udg: n >= 1");
+  require(radius > 0.0, "udg: radius > 0");
+  const double r2 = radius * radius;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<double> x(n), y(n);
+    for (NodeId v = 0; v < n; ++v) {
+      x[v] = rng.next_double();
+      y[v] = rng.next_double();
+    }
+    EdgeList e;
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v) {
+        const double dx = x[u] - x[v];
+        const double dy = y[u] - y[v];
+        if (dx * dx + dy * dy <= r2) e.emplace_back(u, v);
+      }
+    Graph g(n, e);
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error(
+      "unit_disk_connected: failed to sample a connected graph");
+}
+
+double udg_connect_radius(NodeId n) {
+  const double nn = static_cast<double>(n < 2 ? 2 : n);
+  return std::sqrt(2.5 * std::log(nn) / nn);
+}
+
+}  // namespace radiomc::gen

@@ -1,0 +1,64 @@
+#pragma once
+
+// Topology generators for the experiment suite.
+//
+// The paper's bounds are stated in terms of n (nodes), D (diameter) and
+// Delta (max degree); the generators below cover the interesting corners of
+// that space: long thin graphs (path, cycle, caterpillar), dense flat graphs
+// (complete, star), the "typical" multi-hop shapes (grid, unit-disk graphs),
+// and random graphs (G(n,p), random trees).
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace radiomc::gen {
+
+/// Path 0-1-2-...-(n-1). D = n-1, Delta = 2.
+Graph path(NodeId n);
+
+/// Cycle on n >= 3 nodes. D = floor(n/2), Delta = 2.
+Graph cycle(NodeId n);
+
+/// Complete graph. D = 1, Delta = n-1. (Single-hop network.)
+Graph complete(NodeId n);
+
+/// Star: node 0 is the hub. D = 2, Delta = n-1.
+Graph star(NodeId n);
+
+/// rows x cols grid (4-neighborhood). D = rows+cols-2, Delta <= 4.
+Graph grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (wrap-around grid), n >= 3 in each dimension.
+Graph torus(NodeId rows, NodeId cols);
+
+/// Hypercube on 2^dims nodes.
+Graph hypercube(std::uint32_t dims);
+
+/// Complete r-ary tree with n nodes (node 0 is the root; node v's parent is
+/// (v-1)/r). Delta <= r+1.
+Graph rary_tree(NodeId n, std::uint32_t r);
+
+/// Uniform random labelled tree (random Prufer sequence).
+Graph random_tree(NodeId n, Rng& rng);
+
+/// Caterpillar: a spine path of `spine` nodes, each spine node with `legs`
+/// leaves. High-Delta, high-D shape.
+Graph caterpillar(NodeId spine, NodeId legs);
+
+/// Two complete graphs of size `clique` joined by a path of `bridge` nodes.
+Graph barbell(NodeId clique, NodeId bridge);
+
+/// Erdos-Renyi G(n, p), conditioned on connectivity: resamples (up to
+/// `max_attempts`) until connected; throws if it never connects.
+Graph gnp_connected(NodeId n, double p, Rng& rng, int max_attempts = 256);
+
+/// Random geometric / unit-disk graph: n points uniform in the unit square,
+/// edge iff distance <= radius; resamples until connected.
+Graph unit_disk_connected(NodeId n, double radius, Rng& rng,
+                          int max_attempts = 256);
+
+/// A radius that makes unit_disk_connected connect quickly:
+/// ~ sqrt(2.5 ln n / n).
+double udg_connect_radius(NodeId n);
+
+}  // namespace radiomc::gen

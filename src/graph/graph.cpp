@@ -1,0 +1,57 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "support/util.h"
+
+namespace radiomc {
+
+Graph::Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges)
+    : n_(n) {
+  std::vector<std::pair<NodeId, NodeId>> dedup;
+  dedup.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    require(u < n && v < n, "Graph: edge endpoint out of range");
+    require(u != v, "Graph: self-loops are not allowed");
+    if (u > v) std::swap(u, v);
+    dedup.emplace_back(u, v);
+  }
+  std::sort(dedup.begin(), dedup.end());
+  dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+
+  std::vector<std::uint32_t> deg(n, 0);
+  for (auto [u, v] : dedup) {
+    ++deg[u];
+    ++deg[v];
+  }
+  offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
+  adjacency_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (auto [u, v] : dedup) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+    max_degree_ = std::max(max_degree_, deg[v]);
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < n_; ++u)
+    for (NodeId v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+}  // namespace radiomc

@@ -1,0 +1,59 @@
+#pragma once
+
+// Undirected graph in compressed-sparse-row form.
+//
+// This is the topology substrate of the radio model: nodes are stations,
+// an edge means the two stations are within transmission range of each
+// other (paper §1.1). The graph is immutable after construction, which lets
+// the slot engine iterate neighborhoods at memory speed.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace radiomc {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel "no node" value (used for absent parents etc.).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+class Graph {
+ public:
+  /// Builds a graph on `n` nodes from an edge list. Self-loops are rejected;
+  /// duplicate edges are deduplicated.
+  Graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Empty graph (no nodes).
+  Graph() = default;
+
+  NodeId num_nodes() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  /// Neighbors of `v`, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Maximum degree Delta of the graph (0 for an empty graph).
+  std::uint32_t max_degree() const noexcept { return max_degree_; }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges as (u, v) with u < v, sorted.
+  std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::size_t> offsets_;  // n_ + 1 entries
+  std::vector<NodeId> adjacency_;
+  std::uint32_t max_degree_ = 0;
+};
+
+}  // namespace radiomc

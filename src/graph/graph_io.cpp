@@ -1,0 +1,60 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include "support/util.h"
+
+namespace radiomc {
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "graph radiomc {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) os << "  " << v << ";\n";
+  for (auto [u, v] : g.edge_list()) os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << "n " << g.num_nodes() << "\n";
+  for (auto [u, v] : g.edge_list()) os << u << " " << v << "\n";
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  NodeId n = 0;
+  bool have_n = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank
+    if (!have_n) {
+      require(first == "n", "edge list: expected 'n <count>' header");
+      std::uint64_t count = 0;
+      require(static_cast<bool>(ls >> count), "edge list: bad node count");
+      n = static_cast<NodeId>(count);
+      have_n = true;
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    std::istringstream es(line);
+    require(static_cast<bool>(es >> u >> v),
+            "edge list: bad edge at line " + std::to_string(lineno));
+    std::string extra;
+    require(!(es >> extra),
+            "edge list: trailing tokens at line " + std::to_string(lineno));
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  require(have_n, "edge list: missing 'n <count>' header");
+  return Graph(n, edges);
+}
+
+}  // namespace radiomc

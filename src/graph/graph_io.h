@@ -1,0 +1,25 @@
+#pragma once
+
+// Graph serialization: Graphviz DOT export (for visualizing topologies and
+// BFS trees) and a plain edge-list format for interchange.
+//
+// Edge-list format: first line "n <num_nodes>", then one "u v" pair per
+// line; '#' starts a comment. Whitespace-tolerant.
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace radiomc {
+
+/// Graphviz DOT (undirected). (The BFS-tree-aware overlay lives in
+/// protocols/tree.h, which owns the BfsTree type.)
+std::string to_dot(const Graph& g);
+
+/// Plain edge list.
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format; throws std::invalid_argument on errors.
+Graph from_edge_list(const std::string& text);
+
+}  // namespace radiomc

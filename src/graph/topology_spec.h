@@ -1,0 +1,26 @@
+#pragma once
+
+// Textual topology specifications, for the CLI tool and scripts:
+//
+//   path:N            cycle:N          complete:N        star:N
+//   grid:RxC          torus:RxC        hypercube:D       tree:N:R
+//   random-tree:N     caterpillar:S:L  barbell:C:B
+//   gnp:N:P           udg:N[:RADIUS]
+//
+// Random families consume the provided Rng (deterministic per seed).
+
+#include <string>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace radiomc::gen {
+
+/// Parses `spec` and builds the graph. Throws std::invalid_argument with a
+/// human-readable message on malformed specs.
+Graph from_spec(const std::string& spec, Rng& rng);
+
+/// One-line summary of the supported grammar (for CLI help output).
+std::string spec_grammar();
+
+}  // namespace radiomc::gen

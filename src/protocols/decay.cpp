@@ -1,0 +1,76 @@
+#include "protocols/decay.h"
+
+#include <memory>
+#include <vector>
+
+#include "radio/network.h"
+
+namespace radiomc {
+
+namespace {
+
+/// Transmits one fixed message under Decay; everyone else listens.
+class DecayTrialStation final : public Station {
+ public:
+  DecayTrialStation(std::uint32_t decay_len, bool transmits, Rng rng)
+      : decay_(decay_len), rng_(rng) {
+    if (transmits) decay_.start();
+  }
+
+  void on_slot(SlotTime, std::span<std::optional<Message>> tx) override {
+    if (!decay_.wants_transmit()) return;
+    Message m;
+    m.kind = MsgKind::kData;
+    tx[0] = m;
+    transmitted_ = true;
+  }
+
+  void on_receive(SlotTime, ChannelId, const Message&) override {
+    received_ = true;
+  }
+
+  void on_slot_end(SlotTime) override {
+    if (transmitted_) {
+      decay_.after_transmit(rng_);
+      transmitted_ = false;
+    }
+  }
+
+  bool received() const noexcept { return received_; }
+
+ private:
+  DecayProcess decay_;
+  Rng rng_;
+  bool transmitted_ = false;
+  bool received_ = false;
+};
+
+}  // namespace
+
+bool decay_single_trial(const Graph& g, NodeId receiver,
+                        const std::vector<NodeId>& transmitters,
+                        std::uint32_t decay_len, Rng& rng) {
+  require(receiver < g.num_nodes(), "decay_single_trial: receiver in range");
+  std::vector<bool> sends(g.num_nodes(), false);
+  for (NodeId t : transmitters) {
+    require(t < g.num_nodes(), "decay_single_trial: transmitter in range");
+    sends[t] = true;
+  }
+  require(!sends[receiver], "decay_single_trial: receiver cannot transmit");
+
+  std::vector<std::unique_ptr<DecayTrialStation>> stations;
+  stations.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    stations.push_back(
+        std::make_unique<DecayTrialStation>(decay_len, sends[v], rng.split(v)));
+  std::vector<Station*> ptrs;
+  ptrs.reserve(stations.size());
+  for (auto& s : stations) ptrs.push_back(s.get());
+
+  RadioNetwork net(g);
+  net.attach(std::move(ptrs));
+  net.run(decay_len);
+  return stations[receiver]->received();
+}
+
+}  // namespace radiomc

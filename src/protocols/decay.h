@@ -1,0 +1,74 @@
+#pragma once
+
+// The Decay primitive of Bar-Yehuda, Goldreich & Itai [3] (§1.4):
+//
+//   procedure Decay(m):
+//     repeat at most 2*log(Delta) times:
+//       transmit m to all neighbors
+//       flip coin R in {0, 1}
+//     until coin == 0
+//
+// Properties used throughout the paper:
+//   (1) one invocation lasts 2*log(Delta) time slots;
+//   (2) if several neighbors of v run Decay concurrently, v receives one of
+//       the messages with probability > 1/2.
+//
+// `DecayProcess` is the per-node state of one invocation; protocol stations
+// embed one and drive it on their data-transmission opportunities.
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+#include "support/util.h"
+
+namespace radiomc {
+
+class DecayProcess {
+ public:
+  /// `length` is the maximum number of transmissions per invocation,
+  /// normally decay_length(Delta) = 2*ceil(log2 Delta).
+  explicit DecayProcess(std::uint32_t length) : length_(length) {
+    require(length >= 1, "DecayProcess: length >= 1");
+  }
+
+  /// Begins a new invocation: the node is live and will transmit at its
+  /// next opportunity.
+  void start() noexcept {
+    live_ = true;
+    used_ = 0;
+  }
+
+  /// True iff the node should transmit at this opportunity.
+  bool wants_transmit() const noexcept { return live_ && used_ < length_; }
+
+  /// Advances the invocation after a transmission: flips the coin and dies
+  /// with probability 1/2 (paper: "transmit m; flip coin; until coin = 0").
+  void after_transmit(Rng& rng) noexcept {
+    ++used_;
+    if (rng.coin()) live_ = false;
+  }
+
+  /// Aborts the invocation (used when an acknowledgement arrives).
+  void stop() noexcept { live_ = false; }
+
+  bool live() const noexcept { return live_; }
+  std::uint32_t transmissions_used() const noexcept { return used_; }
+  std::uint32_t length() const noexcept { return length_; }
+
+ private:
+  std::uint32_t length_;
+  std::uint32_t used_ = 0;
+  bool live_ = false;
+};
+
+/// Experiment helper (E1): runs a single synchronized Decay invocation on
+/// graph `g` where every node in `transmitters` sends a distinct message,
+/// and reports whether `receiver` heard any of them. All transmitters must
+/// be neighbors of `receiver` for property (2) to apply, but the function
+/// does not require it (multi-hop interference studies use non-neighbors).
+bool decay_single_trial(const Graph& g, NodeId receiver,
+                        const std::vector<NodeId>& transmitters,
+                        std::uint32_t decay_len, Rng& rng);
+
+}  // namespace radiomc

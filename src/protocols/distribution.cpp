@@ -1,0 +1,233 @@
+#include "protocols/distribution.h"
+
+namespace radiomc {
+
+namespace {
+PhaseClock make_clock(const DistributionConfig& cfg) {
+  SlotStructure s;
+  s.decay_len = cfg.decay_len;
+  s.ack_subslots = false;  // §6: broadcast payloads have many destinations
+  s.mod3_gating = cfg.mod3_gating;
+  return PhaseClock(s);
+}
+}  // namespace
+
+DistributionStation::DistributionStation(NodeId me, const BfsTree& tree,
+                                         DistributionConfig cfg, Rng rng)
+    : me_(me),
+      level_(tree.level[me]),
+      is_root_(me == tree.root),
+      n_(tree.num_nodes()),
+      depth_(tree.depth),
+      cfg_(cfg),
+      clock_(make_clock(cfg)),
+      rng_(rng),
+      decay_(cfg.decay_len) {}
+
+std::uint32_t DistributionStation::wire_of(std::uint32_t abs) const noexcept {
+  return cfg_.window == 0 ? abs : abs % (4 * cfg_.window);
+}
+
+std::optional<std::uint32_t> DistributionStation::abs_of(
+    std::uint32_t wire) const noexcept {
+  if (cfg_.window == 0) return wire;
+  // Uniqueness: the root only sends fresh seq < base + 2W and never resends
+  // below base, and base only advances after every copy numbered below the
+  // new base has drained out of the pipeline (the depth guard in
+  // on_superphase_boundary). Hence every copy a node can hear satisfies
+  // a in [base, base+2W), while its own frontier f is in [base, base+2W]
+  // (base never passes an undelivered message). So a - f in [-2W, 2W),
+  // and the residue mod 4W identifies `a` within [f-2W, f+2W).
+  const std::int64_t mod = 4LL * cfg_.window;
+  const std::int64_t f = next_expected_;
+  const std::int64_t lo = f - 2LL * cfg_.window;
+  const std::int64_t a = lo + ((wire - lo) % mod + mod) % mod;
+  if (a < 0) return std::nullopt;  // would predate message 0
+  return static_cast<std::uint32_t>(a);
+}
+
+std::uint32_t DistributionStation::root_enqueue(const Message& app) {
+  require(is_root_, "root_enqueue on a non-root station");
+  Message m = app;
+  m.kind = MsgKind::kBcastData;
+  m.dest = kAllNodes;
+  m.seq = next_seq_++;
+  pending_.push_back(m);
+  history_.emplace(m.seq, m);
+  return m.seq;
+}
+
+void DistributionStation::root_request_resend(std::uint32_t seq) {
+  require(is_root_, "root_request_resend on a non-root station");
+  // Only sequence numbers actually transmitted can be legitimately missing;
+  // anything else is a spurious request (e.g. a decode gone stale).
+  if (seq >= sent_hi_ || seq < base_) return;
+  if (resend_queued_.insert(seq).second) resend_queue_.push_back(seq);
+}
+
+void DistributionStation::root_checkpoint_ack(NodeId who, std::uint32_t cp) {
+  require(is_root_, "root_checkpoint_ack on a non-root station");
+  if (cfg_.window == 0 || who == me_) return;
+  checkpoint_acks_[cp].insert(who);
+}
+
+void DistributionStation::on_superphase_boundary(std::uint64_t sp) {
+  if (!is_root_) {
+    // Store-and-forward pipeline register shift (§6: forward during this
+    // superphase what arrived during the previous one).
+    forwarding_ = received_sp_;
+    received_sp_.reset();
+
+    // Re-issue NACKs for messages still missing after the retry interval.
+    if (nack_fn_) {
+      for (auto& [seq, last] : nack_last_sp_) {
+        if (sp - last >= cfg_.nack_retry_superphases) {
+          last = sp;
+          nack_fn_(seq);
+        }
+      }
+    }
+    return;
+  }
+
+  // Root. First advance the checkpoint base where possible: checkpoint cp
+  // (= "every node delivered all seq < cp*W") requires acks from the n-1
+  // other nodes AND that no copy numbered below cp*W can still be in the
+  // pipeline — a copy sent at superphase T leaves the deepest level by
+  // T + depth, hence the drain guard.
+  if (cfg_.window != 0) {
+    for (;;) {
+      const std::uint32_t cp = base_ / cfg_.window + 1;
+      const auto it = checkpoint_acks_.find(cp);
+      if (it == checkpoint_acks_.end() || it->second.size() < n_ - 1) break;
+      const auto sent = last_sent_in_cp_.find(cp - 1);
+      if (sent != last_sent_in_cp_.end() && sp <= sent->second + depth_ + 2)
+        break;  // copies below cp*W might still be draining
+      base_ = cp * cfg_.window;
+      history_.erase(history_.begin(), history_.lower_bound(base_));
+      last_sent_in_cp_.erase(cp - 1);
+      checkpoint_acks_.erase(it);
+    }
+  }
+
+  // Choose the message for this superphase: repairs first, then fresh
+  // traffic gated by the send window.
+  forwarding_.reset();
+  while (!resend_queue_.empty()) {
+    const std::uint32_t seq = resend_queue_.front();
+    resend_queue_.pop_front();
+    resend_queued_.erase(seq);
+    if (seq < base_) continue;  // everyone has it; never re-inject
+    const auto it = history_.find(seq);
+    if (it != history_.end()) {
+      forwarding_ = it->second;
+      ++resend_count_;
+      break;
+    }
+  }
+  if (!forwarding_ && !pending_.empty()) {
+    const Message& head = pending_.front();
+    if (cfg_.window == 0 || head.seq < base_ + 2 * cfg_.window) {
+      forwarding_ = head;
+      pending_.pop_front();
+      sent_hi_ = head.seq + 1;
+    }
+  }
+  // Tail-loss repair: a node that missed the *last* message never sees a
+  // later sequence number, so gap NACKs alone cannot heal it (the paper
+  // closes this with the root's checkpoint timeout-resend). An idle root
+  // therefore keeps re-forwarding the newest message it actually sent;
+  // receivers that have it drop the duplicate, receivers that miss it — or
+  // detect a gap below it — recover. (Never the newest *enqueued* message:
+  // transmitting a sequence number ahead of the send window would break
+  // the mod-4W decode invariant.)
+  if (!forwarding_ && sent_hi_ > 0) {
+    const auto it = history_.find(sent_hi_ - 1);
+    if (it != history_.end()) {
+      forwarding_ = it->second;
+      ++idle_rebroadcasts_;
+    }
+  }
+  if (forwarding_ && cfg_.window != 0) {
+    const std::uint32_t cp = forwarding_->seq / cfg_.window;
+    last_sent_in_cp_[cp] = sp;
+  }
+}
+
+std::optional<Message> DistributionStation::poll(SlotTime t) {
+  const std::uint64_t sp = t / slots_per_superphase();
+  if (sp != last_superphase_) {
+    last_superphase_ = sp;
+    on_superphase_boundary(sp);
+  }
+
+  if (!forwarding_) return std::nullopt;
+  const PhaseClock::SlotInfo info = clock_.decode(t);
+  if (!clock_.level_may_send_data(info, level_)) return std::nullopt;
+  if (info.phase != attempt_phase_) {
+    attempt_phase_ = info.phase;
+    decay_.start();
+  }
+  if (!decay_.wants_transmit()) return std::nullopt;
+
+  Message m = *forwarding_;
+  m.sender = me_;
+  m.aux = level_;          // receivers check the hop direction
+  m.seq = wire_of(m.seq);  // window-bounded wire numbering
+  just_transmitted_ = true;
+  return m;
+}
+
+void DistributionStation::note_received(SlotTime t, std::uint32_t abs,
+                                        const Message& stored) {
+  if (abs < next_expected_ || out_of_order_.contains(abs)) return;  // dup
+
+  out_of_order_.emplace(abs, stored);
+  // NACK everything the gap reveals as missing (once; retried on a timer).
+  const std::uint64_t sp = t / slots_per_superphase();
+  for (std::uint32_t miss = next_expected_; miss < abs; ++miss) {
+    if (!out_of_order_.contains(miss) && !nack_last_sp_.contains(miss)) {
+      nack_last_sp_.emplace(miss, sp);
+      if (nack_fn_) nack_fn_(miss);
+    }
+  }
+  // In-order application delivery.
+  for (auto it = out_of_order_.find(next_expected_);
+       it != out_of_order_.end() && it->first == next_expected_;
+       it = out_of_order_.find(next_expected_)) {
+    nack_last_sp_.erase(next_expected_);
+    delivery_log_.emplace_back(t, next_expected_);
+    if (delivery_handler_) delivery_handler_(t, it->second);
+    out_of_order_.erase(it);
+    ++next_expected_;
+  }
+  // Checkpoint acknowledgements (window mode); never skip an index, the
+  // root counts acks per checkpoint.
+  if (cfg_.window != 0 && checkpoint_fn_) {
+    const std::uint32_t cp = next_expected_ / cfg_.window;
+    while (last_checkpoint_sent_ < cp) checkpoint_fn_(++last_checkpoint_sent_);
+  }
+}
+
+void DistributionStation::deliver(SlotTime t, const Message& m) {
+  if (m.kind != MsgKind::kBcastData) return;
+  if (is_root_) return;
+  if (m.aux + 1 != level_) return;  // accept only the level-(i-1) wave
+
+  const std::optional<std::uint32_t> abs = abs_of(m.seq);
+  if (!abs) return;
+
+  Message stored = m;
+  stored.seq = *abs;  // keep absolute numbering internally
+  if (!received_sp_) received_sp_ = stored;
+  note_received(t, *abs, stored);
+}
+
+void DistributionStation::tick(SlotTime) {
+  if (just_transmitted_) {
+    decay_.after_transmit(rng_);
+    just_transmitted_ = false;
+  }
+}
+
+}  // namespace radiomc

@@ -1,0 +1,44 @@
+#pragma once
+
+// Reactive (open-system) collection: the §4 protocol driven by a Bernoulli
+// arrival process, the regime the queueing analysis of §4.3 models. Each
+// phase, with probability lambda, one new message is originated; the
+// driver samples the in-network population at phase starts and tracks
+// per-message sojourn (origination -> root arrival, in phases).
+//
+// This is the measurement behind experiment E15: the real network is
+// dominated by the tandem model (Thm 4.15), so its stationary population
+// and sojourn must sit at or below the model-4 closed forms
+// D * lambda(1-lambda)/(mu-lambda) and D * (1-lambda)/(mu-lambda).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "protocols/collection.h"
+#include "protocols/tree.h"
+#include "support/stats.h"
+
+namespace radiomc {
+
+enum class ArrivalPlacement {
+  kDeepestLevel,  ///< arrivals at max-level nodes (the models' node D)
+  kUniform,       ///< arrivals at uniform random non-root nodes
+};
+
+struct SteadyStateOutcome {
+  std::uint64_t phases = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t delivered = 0;
+  /// In-network message count sampled at phase starts (after warmup).
+  OnlineStats population;
+  /// Per delivered message: phases between origination and root arrival.
+  OnlineStats sojourn_phases;
+};
+
+SteadyStateOutcome run_collection_steady_state(
+    const Graph& g, const BfsTree& tree, double lambda_per_phase,
+    std::uint64_t phases, std::uint64_t warmup_phases, std::uint64_t seed,
+    ArrivalPlacement placement = ArrivalPlacement::kDeepestLevel);
+
+}  // namespace radiomc

@@ -1,0 +1,98 @@
+#include "protocols/tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/algorithms.h"
+#include "support/util.h"
+
+namespace radiomc {
+
+BfsTree BfsTree::from_parents(NodeId root, std::vector<NodeId> parents) {
+  const auto n = static_cast<NodeId>(parents.size());
+  require(root < n, "BfsTree: root out of range");
+  require(parents[root] == kNoNode, "BfsTree: root must have no parent");
+
+  BfsTree t;
+  t.root = root;
+  t.parent = std::move(parents);
+  t.children.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    require(t.parent[v] < n, "BfsTree: node with missing parent");
+    t.children[t.parent[v]].push_back(v);
+  }
+  for (auto& c : t.children) std::sort(c.begin(), c.end());
+
+  // Levels by walking down from the root; also validates acyclicity and
+  // that the structure spans all nodes.
+  t.level.assign(n, static_cast<std::uint32_t>(-1));
+  t.level[root] = 0;
+  std::vector<NodeId> frontier{root};
+  NodeId seen = 1;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier)
+      for (NodeId c : t.children[u]) {
+        t.level[c] = t.level[u] + 1;
+        depth = std::max(depth, t.level[c]);
+        next.push_back(c);
+        ++seen;
+      }
+    frontier = std::move(next);
+  }
+  require(seen == n, "BfsTree: parent pointers contain a cycle");
+  t.depth = depth;
+  return t;
+}
+
+bool is_bfs_tree_of(const Graph& g, const BfsTree& t) {
+  if (t.num_nodes() != g.num_nodes()) return false;
+  const BfsResult truth = bfs(g, t.root);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (t.level[v] != truth.dist[v]) return false;
+    if (v == t.root) continue;
+    if (!g.has_edge(v, t.parent[v])) return false;
+    if (t.level[v] != t.level[t.parent[v]] + 1) return false;
+  }
+  return true;
+}
+
+BfsTree oracle_bfs_tree(const Graph& g, NodeId root) {
+  const BfsResult r = bfs(g, root);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    require(r.dist[v] != BfsResult::kUnreached,
+            "oracle_bfs_tree: graph must be connected");
+  return BfsTree::from_parents(root, r.parent);
+}
+
+DfsLabels oracle_dfs_labels(const BfsTree& t) {
+  const DfsNumbering num = dfs_number_tree(t.parent, t.root);
+  DfsLabels labels;
+  labels.number = num.number;
+  labels.max_desc = num.max_desc;
+  return labels;
+}
+
+std::string tree_to_dot(const Graph& g, const BfsTree& tree) {
+  require(tree.num_nodes() == g.num_nodes(),
+          "tree_to_dot: tree/graph mismatch");
+  std::ostringstream os;
+  os << "graph radiomc {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  " << v << " [label=\"" << v << " (" << tree.level[v] << ")\"";
+    if (v == tree.root) os << ", style=bold, color=red";
+    os << "];\n";
+  }
+  for (auto [u, v] : g.edge_list()) {
+    const bool tree_edge = tree.parent[u] == v || tree.parent[v] == u;
+    os << "  " << u << " -- " << v;
+    if (!tree_edge) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace radiomc

@@ -1,0 +1,69 @@
+#pragma once
+
+// The BFS-tree communication subnetwork built by the setup phase (§2) and
+// the DFS address labels added by the preparation step (§5.1).
+//
+// `BfsTree` is the global result object handed from the setup drivers to
+// the protocol drivers; each station is initialized with *only its own*
+// local slice (parent, level, children, DFS ranges) — the locality
+// discipline of DESIGN.md §5.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace radiomc {
+
+struct BfsTree {
+  NodeId root = kNoNode;
+  std::vector<NodeId> parent;        ///< kNoNode for the root
+  std::vector<std::uint32_t> level;  ///< hop distance from the root
+  std::uint32_t depth = 0;           ///< max level
+
+  /// Children lists (derived; ascending ids).
+  std::vector<std::vector<NodeId>> children;
+
+  /// Builds the derived fields from root + parents. Throws if the parent
+  /// pointers do not describe a tree spanning all `parent.size()` nodes.
+  static BfsTree from_parents(NodeId root, std::vector<NodeId> parents);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(parent.size());
+  }
+};
+
+/// Checks that `t` is a *BFS* tree of `g`: every tree edge is a graph edge,
+/// levels increase by exactly one along tree edges, and level[v] equals the
+/// true hop distance from the root. Used by tests (ground truth) and by the
+/// omniscient fast-path setup used in benches that do not measure setup.
+bool is_bfs_tree_of(const Graph& g, const BfsTree& t);
+
+/// Builds the true BFS tree of `g` from `root` centrally (smallest-id
+/// parents). This is the instant "oracle setup" used by experiments whose
+/// subject is not the setup phase itself.
+BfsTree oracle_bfs_tree(const Graph& g, NodeId root);
+
+/// DFS address labels (§5.1): each node's preorder number in a DFS of the
+/// BFS tree and the maximum number in its subtree. The descendants of v are
+/// exactly the addresses in [number[v], max_desc[v]] — the containment test
+/// that drives point-to-point routing.
+struct DfsLabels {
+  std::vector<std::uint32_t> number;
+  std::vector<std::uint32_t> max_desc;
+
+  bool contains(NodeId v, std::uint32_t addr) const noexcept {
+    return number[v] <= addr && addr <= max_desc[v];
+  }
+};
+
+/// Oracle DFS labels of a BFS tree (children in ascending id order, the
+/// same order the distributed token traversal uses).
+DfsLabels oracle_dfs_labels(const BfsTree& t);
+
+/// Graphviz DOT with the BFS tree highlighted: tree edges solid, non-tree
+/// edges dashed, nodes labelled "id (level)", the root marked in red.
+std::string tree_to_dot(const Graph& g, const BfsTree& tree);
+
+}  // namespace radiomc

@@ -1,0 +1,55 @@
+#include "queueing/analysis.h"
+
+#include <cmath>
+
+#include "support/util.h"
+
+namespace radiomc::queueing {
+
+double mu_decay() noexcept {
+  const double e1 = std::exp(-1.0);
+  return e1 * (1.0 - e1);
+}
+
+namespace {
+void check_rates(double lambda, double mu) {
+  require(lambda > 0.0 && lambda < mu && mu <= 1.0,
+          "queueing: need 0 < lambda < mu <= 1");
+}
+}  // namespace
+
+double hsu_burke_pj(double lambda, double mu, std::uint32_t j) {
+  check_rates(lambda, mu);
+  const double p0 = 1.0 - lambda / mu;
+  if (j == 0) return p0;
+  const double p1 = lambda / ((1.0 - lambda) * mu) * p0;
+  if (j == 1) return p1;
+  const double ratio = lambda * (1.0 - mu) / (mu * (1.0 - lambda));
+  return p1 * std::pow(ratio, static_cast<double>(j - 1));
+}
+
+double mean_queue_length(double lambda, double mu) {
+  check_rates(lambda, mu);
+  return lambda * (1.0 - lambda) / (mu - lambda);
+}
+
+double mean_wait(double lambda, double mu) {
+  check_rates(lambda, mu);
+  return (1.0 - lambda) / (mu - lambda);
+}
+
+double model4_completion_phases(std::uint64_t k, std::uint32_t depth,
+                                double lambda, double mu) {
+  check_rates(lambda, mu);
+  return static_cast<double>(k) / lambda +
+         static_cast<double>(depth) * (1.0 - lambda) / (mu - lambda);
+}
+
+double thm44_slot_bound(std::uint64_t k, std::uint32_t depth,
+                        std::uint32_t max_degree) {
+  const double logd = std::log2(static_cast<double>(
+      max_degree < 2 ? 2 : max_degree));
+  return 32.27 * static_cast<double>(k + depth) * logd;
+}
+
+}  // namespace radiomc::queueing

@@ -1,0 +1,44 @@
+#pragma once
+
+// Closed-form results used by the paper's performance analysis (§4.2-4.3).
+//
+//  * mu_decay(): Theorem 4.1's per-phase level-advance probability
+//    mu = e^-1 (1 - e^-1).
+//  * Hsu-Burke [12] stationary distribution of a Bernoulli server with
+//    Bernoulli(lambda) input, lambda < mu:
+//      p_0 = 1 - lambda/mu,
+//      p_1 = lambda / ((1-lambda) mu) * p_0,
+//      p_j = (lambda(1-mu) / (mu(1-lambda)))^(j-1) * p_1,
+//    mean queue length N = lambda(1-lambda)/(mu-lambda), and by Little's
+//    law the mean time in queue E(T) = N/lambda = (1-lambda)/(mu-lambda).
+//  * Theorem 4.3: expected completion time of model 4 is
+//      k/lambda + D (1-lambda)/(mu-lambda)   phases.
+//  * Theorem 4.4: expected slots for k messages to reach the root is at
+//    most 32.27 (k + D) log2(Delta).
+
+#include <cstdint>
+
+namespace radiomc::queueing {
+
+/// mu = e^-1 (1 - e^-1) ~ 0.23254.
+double mu_decay() noexcept;
+
+/// Stationary probability that the queue holds exactly j customers.
+/// Requires 0 < lambda < mu <= 1.
+double hsu_burke_pj(double lambda, double mu, std::uint32_t j);
+
+/// Stationary mean queue length lambda(1-lambda)/(mu-lambda).
+double mean_queue_length(double lambda, double mu);
+
+/// Mean time in one queue (Little): (1-lambda)/(mu-lambda) steps.
+double mean_wait(double lambda, double mu);
+
+/// Theorem 4.3: expected completion time of model 4, in phases.
+double model4_completion_phases(std::uint64_t k, std::uint32_t depth,
+                                double lambda, double mu);
+
+/// Theorem 4.4's slot bound: 32.27 (k + D) log2(Delta).
+double thm44_slot_bound(std::uint64_t k, std::uint32_t depth,
+                        std::uint32_t max_degree);
+
+}  // namespace radiomc::queueing

@@ -1,0 +1,44 @@
+#include "queueing/bernoulli_server.h"
+
+#include "support/util.h"
+
+namespace radiomc::queueing {
+
+BernoulliServer::BernoulliServer(double lambda, double mu, Rng rng)
+    : lambda_(lambda), mu_(mu), rng_(rng) {
+  require(lambda > 0.0 && lambda < mu && mu <= 1.0,
+          "BernoulliServer: need 0 < lambda < mu <= 1");
+}
+
+bool BernoulliServer::step() {
+  // Service first, then arrival (a customer cannot be served in its
+  // arrival slot) — the convention under which the Hsu-Burke stationary
+  // law p_0 = 1 - lambda/mu, p_1 = lambda p_0 / ((1-lambda) mu), ... holds.
+  bool departed = false;
+  if (queue_ > 0 && rng_.bernoulli(mu_)) {
+    --queue_;
+    departed = true;
+  }
+  if (rng_.bernoulli(lambda_)) ++queue_;
+  return departed;
+}
+
+BernoulliServer::StationaryStats BernoulliServer::run(std::uint64_t warmup,
+                                                      std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < warmup; ++i) step();
+  StationaryStats s;
+  s.steps = steps;
+  bool prev = false;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    s.queue_lengths.add(static_cast<std::int64_t>(queue_));
+    const bool dep = step();
+    if (dep) {
+      ++s.departures;
+      if (prev) ++s.consecutive_departures;
+    }
+    prev = dep;
+  }
+  return s;
+}
+
+}  // namespace radiomc::queueing

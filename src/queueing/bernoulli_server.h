@@ -1,0 +1,46 @@
+#pragma once
+
+// A single discrete-time Bernoulli server (§4.3): per step, if the queue is
+// nonempty, exactly one customer is served with probability mu; a new
+// customer arrives with probability lambda. Used to verify the Hsu-Burke
+// stationary distribution and the Bernoulli-departure theorem (Thm 4.2).
+
+#include <cstdint>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace radiomc::queueing {
+
+class BernoulliServer {
+ public:
+  BernoulliServer(double lambda, double mu, Rng rng);
+
+  /// Advances one step; returns true iff a departure occurred. Service
+  /// happens before the arrival within a step (a customer cannot be served
+  /// in its own arrival slot) — the convention of the Hsu-Burke law and of
+  /// the tandem composition.
+  bool step();
+
+  std::uint64_t queue_length() const noexcept { return queue_; }
+
+  /// Simulates `steps` after a `warmup`, recording the queue length each
+  /// step and whether a departure occurred.
+  struct StationaryStats {
+    Histogram queue_lengths;
+    std::uint64_t departures = 0;
+    std::uint64_t steps = 0;
+    /// Lag-1 autocorrelation proxy of the departure process: count of
+    /// consecutive-step departure pairs, for the Bernoulli-ness check.
+    std::uint64_t consecutive_departures = 0;
+  };
+  StationaryStats run(std::uint64_t warmup, std::uint64_t steps);
+
+ private:
+  double lambda_;
+  double mu_;
+  Rng rng_;
+  std::uint64_t queue_ = 0;
+};
+
+}  // namespace radiomc::queueing

@@ -1,0 +1,77 @@
+#include "queueing/models.h"
+
+#include "protocols/collection.h"
+#include "queueing/tandem.h"
+#include "support/util.h"
+
+namespace radiomc::queueing {
+
+std::uint64_t run_model1_phases(const Graph& g, const BfsTree& tree,
+                                const std::vector<NodeId>& sources,
+                                std::uint64_t seed) {
+  std::vector<Message> init;
+  init.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    Message m;
+    m.kind = MsgKind::kData;
+    m.origin = sources[i];
+    m.seq = static_cast<std::uint32_t>(i);
+    init.push_back(m);
+  }
+  const CollectionOutcome out = run_collection(
+      g, tree, std::move(init), CollectionConfig::for_graph(g), seed);
+  require(out.completed, "run_model1_phases: collection did not complete");
+  return out.phases;
+}
+
+std::uint64_t run_model2(const std::vector<std::uint32_t>& levels,
+                         std::uint32_t depth, double mu, Rng& rng) {
+  std::vector<std::uint64_t> sizes(depth, 0);
+  for (std::uint32_t l : levels) {
+    require(l >= 1 && l <= depth, "run_model2: level out of range");
+    ++sizes[l - 1];  // queue index 0 is level 1 (adjacent to the root)
+  }
+  TandemQueue q(depth, mu, rng.split(0x7a4d));
+  q.set_initial(sizes);
+  std::uint64_t steps = 0;
+  while (q.total_in_system() > 0) {
+    q.step(0.0);
+    ++steps;
+  }
+  return steps;
+}
+
+namespace {
+
+std::uint64_t drain_k_arrivals(TandemQueue& q, std::uint64_t k, double lambda,
+                               std::uint64_t already_in_system, Rng& rng) {
+  std::uint64_t arrived = 0;
+  std::uint64_t steps = 0;
+  const std::uint64_t target = already_in_system + k;
+  while (q.sink_count() < target) {
+    q.step(0.0);
+    if (arrived < k && rng.bernoulli(lambda)) {
+      q.admit();
+      ++arrived;
+    }
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace
+
+std::uint64_t run_model3(std::uint64_t k, std::uint32_t depth, double mu,
+                         double lambda, Rng& rng) {
+  TandemQueue q(depth, mu, rng.split(0x30d3));
+  return drain_k_arrivals(q, k, lambda, 0, rng);
+}
+
+std::uint64_t run_model4(std::uint64_t k, std::uint32_t depth, double mu,
+                         double lambda, Rng& rng) {
+  TandemQueue q(depth, mu, rng.split(0x40d4));
+  q.set_stationary(lambda);
+  return drain_k_arrivals(q, k, lambda, q.total_in_system(), rng);
+}
+
+}  // namespace radiomc::queueing

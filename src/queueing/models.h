@@ -1,0 +1,49 @@
+#pragma once
+
+// The four models of §4.2, as measurable simulations.
+//
+//  model 1  the radio network itself: k messages on the nodes of the BFS
+//           tree, moved by the collection protocol; completion counted in
+//           phases.
+//  model 2  a path of D+1 nodes; all level-i messages sit at path node i;
+//           per step at most one message moves i -> i-1, with probability
+//           exactly mu.
+//  model 3  like model 2 but initially empty: the k messages arrive at
+//           node D as a Bernoulli(lambda) process.
+//  model 4  like model 3 but the queues start in Hsu-Burke steady state;
+//           completion is when the k-th *additional* message reaches the
+//           root.
+//
+// Theorem 4.15's chain E[T1] <= E[T2] <= E[T3] <= E[T4] is experiment E8.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+
+namespace radiomc::queueing {
+
+/// Model 1: phases for the collection protocol to deliver all messages
+/// from `sources` (one message each) to the root.
+std::uint64_t run_model1_phases(const Graph& g, const BfsTree& tree,
+                                const std::vector<NodeId>& sources,
+                                std::uint64_t seed);
+
+/// Model 2: steps to drain messages initially at `levels` (each in
+/// [1, depth]) through a depth-server tandem with service probability mu.
+std::uint64_t run_model2(const std::vector<std::uint32_t>& levels,
+                         std::uint32_t depth, double mu, Rng& rng);
+
+/// Model 3: steps until k Bernoulli(lambda) arrivals have all reached the
+/// root of an initially empty depth-server tandem.
+std::uint64_t run_model3(std::uint64_t k, std::uint32_t depth, double mu,
+                         double lambda, Rng& rng);
+
+/// Model 4: like model 3 but queues start in steady state; counts steps
+/// until the k-th additional arrival reaches the root.
+std::uint64_t run_model4(std::uint64_t k, std::uint32_t depth, double mu,
+                         double lambda, Rng& rng);
+
+}  // namespace radiomc::queueing

@@ -1,0 +1,86 @@
+#include "queueing/partition.h"
+
+#include <algorithm>
+
+#include "support/util.h"
+
+namespace radiomc::queueing {
+
+Partition move(const Partition& a, const MoveVector& m) {
+  require(a.size() == m.size(), "move: size mismatch");
+  const std::size_t d = a.size();
+  Partition out = a;
+  // delta_i leaves level i; it arrives at level i-1 (or the untracked sink
+  // for i = 1). Computed from the *pre-move* contents, as in the paper.
+  std::vector<std::uint64_t> delta(d);
+  for (std::size_t i = 0; i < d; ++i) delta[i] = std::min(a[i], m[i]);
+  for (std::size_t i = 0; i < d; ++i) {
+    out[i] -= delta[i];
+    if (i > 0) out[i - 1] += delta[i];
+  }
+  return out;
+}
+
+Partition move_star(Partition a, std::span<const MoveVector> ms,
+                    std::size_t t) {
+  require(t <= ms.size(), "move_star: not enough moves");
+  for (std::size_t i = 0; i < t; ++i) a = move(a, ms[i]);
+  return a;
+}
+
+MoveVector singleton(std::size_t size, std::size_t i) {
+  require(i >= 1 && i <= size, "singleton: index out of range (1-based)");
+  MoveVector m(size, 0);
+  m[i - 1] = 1;
+  return m;
+}
+
+std::vector<MoveVector> singleton_decomposition(const MoveVector& m) {
+  // Emit each component's units starting from the lowest index; within the
+  // proof of Lemma 4.5 the exact order is fixed by "the first nonzero
+  // component of m - sum(previous singletons)", i.e. component 1's units
+  // first, then component 2's, and so on.
+  std::vector<MoveVector> out;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    for (std::uint64_t c = 0; c < m[i]; ++c)
+      out.push_back(singleton(m.size(), i + 1));
+  return out;
+}
+
+bool dominates(const MoveVector& m, const MoveVector& weaker) {
+  require(m.size() == weaker.size(), "dominates: size mismatch");
+  for (std::size_t i = 0; i < m.size(); ++i)
+    if (m[i] < weaker[i]) return false;
+  return true;
+}
+
+bool is_drained(const Partition& a) {
+  return std::all_of(a.begin(), a.end(),
+                     [](std::uint64_t x) { return x == 0; });
+}
+
+std::uint64_t completion_time(Partition a, std::span<const MoveVector> ms,
+                              std::uint64_t max_steps) {
+  require(!ms.empty(), "completion_time: empty move sequence");
+  for (std::uint64_t t = 0; t < max_steps; ++t) {
+    if (is_drained(a)) return t;
+    a = move(a, ms[t % ms.size()]);
+  }
+  return is_drained(a) ? max_steps : max_steps + 1;
+}
+
+std::vector<MoveVector> random_move_sequence(std::size_t size, double mu,
+                                             double lambda, std::size_t len,
+                                             Rng& rng) {
+  std::vector<MoveVector> out;
+  out.reserve(len);
+  for (std::size_t t = 0; t < len; ++t) {
+    MoveVector m(size, 0);
+    for (std::size_t i = 0; i + 1 < size; ++i) m[i] = rng.bernoulli(mu);
+    m[size - 1] = rng.bernoulli(lambda);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace radiomc::queueing

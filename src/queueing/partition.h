@@ -1,0 +1,59 @@
+#pragma once
+
+// The move-vector / partition algebra of §4.4, used by the paper to prove
+// the domination chain between models (Lemmas 4.5-4.15). Implemented as a
+// small value-type library so the lemmas become executable property tests.
+//
+// A Partition a = (a_1, ..., a_{D+1}) counts messages per level (a_{D+1}
+// is the arrival reservoir). Move(a, m) moves delta_i = min(a_i, m_i)
+// messages from level i to level i-1 (level 1 moves into the root/sink,
+// which is not tracked). The paper treats the reservoir component
+// unconditionally (delta_{D+1} = m_{D+1}); we clamp it with min() as well
+// so partitions stay nonnegative — this matches model 3's finite-k
+// semantics and none of the lemmas depend on the difference.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace radiomc::queueing {
+
+using Partition = std::vector<std::uint64_t>;
+using MoveVector = std::vector<std::uint64_t>;
+
+/// Move(a, m) per §4.4.
+Partition move(const Partition& a, const MoveVector& m);
+
+/// Move*(a, M, t): t successive moves.
+Partition move_star(Partition a, std::span<const MoveVector> ms,
+                    std::size_t t);
+
+/// A singleton move vector e_i (1-based component i set to 1).
+MoveVector singleton(std::size_t size, std::size_t i);
+
+/// Lemma 4.5's decomposition: a singleton sequence E_m with
+/// Move(a, m) == Move*(a, E_m, |E_m|) for every a. The construction emits,
+/// for each t, the first nonzero component of m minus what has already
+/// been emitted — i.e. lexicographically nonincreasing singletons.
+std::vector<MoveVector> singleton_decomposition(const MoveVector& m);
+
+/// m dominates m' iff m_i >= m'_i for all i (§4.4).
+bool dominates(const MoveVector& m, const MoveVector& weaker);
+
+/// True iff every component of a is zero (completion).
+bool is_drained(const Partition& a);
+
+/// Completion time T(a, M): number of moves until drained; returns
+/// max_steps+1 if M (cycled) does not drain a within max_steps.
+std::uint64_t completion_time(Partition a, std::span<const MoveVector> ms,
+                              std::uint64_t max_steps);
+
+/// Random move sequence of the tandem-queue kind: P(m_i = 1) = mu for the
+/// servers and P(m_{D+1} = 1) = lambda for the reservoir.
+std::vector<MoveVector> random_move_sequence(std::size_t size, double mu,
+                                             double lambda, std::size_t len,
+                                             Rng& rng);
+
+}  // namespace radiomc::queueing

@@ -1,0 +1,96 @@
+#include "queueing/tandem.h"
+
+#include <numeric>
+
+#include "queueing/analysis.h"
+#include "support/util.h"
+
+namespace radiomc::queueing {
+
+TandemQueue::TandemQueue(std::uint32_t depth, double mu, Rng rng)
+    : mu_(mu), rng_(rng), queues_(depth, 0) {
+  require(depth >= 1, "TandemQueue: depth >= 1");
+  require(mu > 0.0 && mu <= 1.0, "TandemQueue: mu in (0, 1]");
+}
+
+void TandemQueue::set_initial(const std::vector<std::uint64_t>& sizes) {
+  require(sizes.size() == queues_.size(), "TandemQueue: size mismatch");
+  queues_ = sizes;
+  sink_ = 0;
+  if (track_sojourn_)
+    for (std::size_t i = 0; i < queues_.size(); ++i)
+      entries_[i].assign(queues_[i], steps_);
+}
+
+void TandemQueue::set_stationary(double lambda) {
+  for (auto& q : queues_) q = sample_stationary_queue(lambda, mu_, rng_);
+  sink_ = 0;
+  if (track_sojourn_)
+    for (std::size_t i = 0; i < queues_.size(); ++i)
+      entries_[i].assign(queues_[i], steps_);
+}
+
+void TandemQueue::admit() {
+  ++queues_.back();
+  if (track_sojourn_) entries_.back().push_back(steps_);
+}
+
+void TandemQueue::enable_sojourn() {
+  require(total_in_system() == 0,
+          "TandemQueue::enable_sojourn: enable before populating");
+  track_sojourn_ = true;
+  entries_.assign(queues_.size(), {});
+  sojourn_.assign(queues_.size(), OnlineStats{});
+}
+
+std::uint32_t TandemQueue::step(double arrival_p) {
+  std::uint32_t departed = 0;
+  // Downstream-first: server 0's decision happens before it can see the
+  // customer server 1 pushes this step, so customers move one hop per step.
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i] == 0 || !rng_.bernoulli(mu_)) continue;
+    --queues_[i];
+    if (track_sojourn_) {
+      // The sojourn counted by Little's law: slot starts at which the
+      // customer was present = departure step - arrival step.
+      sojourn_[i].add(static_cast<double>(steps_ - entries_[i].front()));
+      entries_[i].pop_front();
+      if (i > 0) entries_[i - 1].push_back(steps_);
+    }
+    if (i == 0) {
+      ++sink_;
+      ++departed;
+    } else {
+      ++queues_[i - 1];
+    }
+  }
+  if (arrival_p > 0.0 && rng_.bernoulli(arrival_p)) {
+    ++queues_.back();
+    if (track_sojourn_) entries_.back().push_back(steps_);
+  }
+  ++steps_;
+  return departed;
+}
+
+std::uint64_t TandemQueue::total_in_system() const noexcept {
+  return std::accumulate(queues_.begin(), queues_.end(), std::uint64_t{0});
+}
+
+std::uint64_t sample_stationary_queue(double lambda, double mu, Rng& rng) {
+  // Inverse-CDF sampling over the Hsu-Burke distribution: p_0, then a
+  // geometric tail with ratio r = lambda(1-mu) / (mu(1-lambda)).
+  const double u = rng.next_double();
+  double cdf = hsu_burke_pj(lambda, mu, 0);
+  if (u < cdf) return 0;
+  const double r = lambda * (1.0 - mu) / (mu * (1.0 - lambda));
+  double pj = hsu_burke_pj(lambda, mu, 1);
+  std::uint64_t j = 1;
+  while (u >= cdf + pj && j < 1'000'000) {
+    cdf += pj;
+    pj *= r;
+    ++j;
+  }
+  return j;
+}
+
+}  // namespace radiomc::queueing

@@ -1,0 +1,74 @@
+#pragma once
+
+// The tandem queue of Bernoulli servers (§4.3): D servers in series, the
+// output of server i feeding server i-1; server 0 is the root (sink).
+// Customers enter at server D. Models 2-4 of §4.2 are configurations of
+// this simulator (models.h); this file provides the shared machinery.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace radiomc::queueing {
+
+class TandemQueue {
+ public:
+  /// `depth` servers, all with service probability mu.
+  TandemQueue(std::uint32_t depth, double mu, Rng rng);
+
+  /// Sets the initial queue contents: sizes[i] customers in server i+1's
+  /// queue (i = 0 is the server next to the sink). Customer identities are
+  /// anonymous; only counts matter for completion times.
+  void set_initial(const std::vector<std::uint64_t>& sizes);
+
+  /// Samples every queue from the Hsu-Burke stationary distribution for
+  /// arrival rate lambda (model 4's "already in steady state").
+  void set_stationary(double lambda);
+
+  /// Advances one step: processes servers downstream-first so a customer
+  /// moves at most one server per step (the models' unit-speed rule), then
+  /// admits an arrival at server D with probability `arrival_p` (0 = no
+  /// arrivals this step). Returns the number of departures into the sink.
+  std::uint32_t step(double arrival_p);
+
+  /// Deterministically admits one customer at server D (used by the
+  /// finite-k arrival processes of models 3 and 4).
+  void admit();
+
+  /// Enables per-customer sojourn-time tracking (FIFO entry stamps per
+  /// server). Little's law check: the mean sojourn at each stage must be
+  /// N/lambda = (1-lambda)/(mu-lambda) steps.
+  void enable_sojourn();
+  /// Per-stage sojourn statistics (valid after enable_sojourn()).
+  const OnlineStats& sojourn(std::uint32_t server) const {
+    return sojourn_[server];
+  }
+
+  std::uint64_t queue(std::uint32_t server) const { return queues_[server]; }
+  std::uint64_t total_in_system() const noexcept;
+  std::uint64_t sink_count() const noexcept { return sink_; }
+  std::uint32_t depth() const noexcept {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+ private:
+  double mu_;
+  Rng rng_;
+  std::vector<std::uint64_t> queues_;  // index 0 = adjacent to sink
+  std::uint64_t sink_ = 0;
+  std::uint64_t steps_ = 0;
+
+  // Sojourn tracking (optional): entry step of each waiting customer, FIFO
+  // per server, kept in lockstep with queues_.
+  bool track_sojourn_ = false;
+  std::vector<std::deque<std::uint64_t>> entries_;
+  std::vector<OnlineStats> sojourn_;
+};
+
+/// Samples a queue length from the Hsu-Burke stationary distribution.
+std::uint64_t sample_stationary_queue(double lambda, double mu, Rng& rng);
+
+}  // namespace radiomc::queueing

@@ -1,0 +1,116 @@
+#include "radio/network.h"
+
+#include <algorithm>
+
+#include "support/util.h"
+
+namespace radiomc {
+
+RadioNetwork::RadioNetwork(const Graph& g, Config cfg)
+    : graph_(&g), cfg_(cfg), capture_rng_(cfg.capture_seed) {
+  require(cfg_.num_channels >= 1, "RadioNetwork: need >= 1 channel");
+  require(cfg_.capture_prob >= 0.0 && cfg_.capture_prob <= 1.0,
+          "RadioNetwork: capture_prob in [0, 1]");
+  const std::size_t cells =
+      static_cast<std::size_t>(g.num_nodes()) * cfg_.num_channels;
+  rx_.resize(cells);
+  actions_.resize(cells);
+}
+
+void RadioNetwork::attach(std::vector<Station*> stations) {
+  require(stations.size() == graph_->num_nodes(),
+          "RadioNetwork::attach: need exactly one station per node");
+  for (Station* s : stations)
+    require(s != nullptr, "RadioNetwork::attach: null station");
+  stations_ = std::move(stations);
+}
+
+void RadioNetwork::step() {
+  require(!stations_.empty(), "RadioNetwork::step: no stations attached");
+  const NodeId n = graph_->num_nodes();
+  const ChannelId channels = cfg_.num_channels;
+  ++epoch_;
+  tx_list_.clear();
+
+  // Phase 1: collect transmit intents (one optional message per channel).
+  for (NodeId v = 0; v < n; ++v) {
+    auto row = std::span<std::optional<Message>>(
+        actions_.data() + static_cast<std::size_t>(v) * channels, channels);
+    for (auto& a : row) a.reset();
+    stations_[v]->on_slot(now_, row);
+    for (ChannelId c = 0; c < channels; ++c) {
+      if (!row[c]) continue;
+      row[c]->sender = v;  // the radio layer stamps the physical sender
+      tx_list_.emplace_back(v, c);
+      ++metrics_.transmissions;
+      if (trace_) trace_->on_transmit(now_, v, c, *row[c]);
+    }
+  }
+
+  // Phase 2: superpose transmissions at each potential receiver. In the
+  // capture model the surviving message is a uniform choice among the
+  // transmitting neighbors (reservoir sampling); in the main model only a
+  // lone transmitter's message matters, so the kept pointer is arbitrary
+  // beyond count 1.
+  const bool capture = cfg_.capture_prob > 0.0;
+  for (auto [u, c] : tx_list_) {
+    const Message& m = *actions_[static_cast<std::size_t>(u) * channels + c];
+    for (NodeId v : graph_->neighbors(u)) {
+      RxSlot& slot = rx_[static_cast<std::size_t>(v) * channels + c];
+      if (slot.epoch != epoch_) {
+        slot.epoch = epoch_;
+        slot.tx_neighbors = 0;
+      }
+      ++slot.tx_neighbors;
+      if (slot.tx_neighbors == 1) {
+        slot.msg = &m;
+      } else if (capture &&
+                 capture_rng_.next_below(slot.tx_neighbors) == 0) {
+        slot.msg = &m;
+      }
+    }
+  }
+
+  // Phase 3: deliver where exactly one neighbor transmitted and the
+  // receiver was listening on that channel.
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t base = static_cast<std::size_t>(v) * channels;
+    bool transmitted_any = false;
+    if (!cfg_.rx_while_tx_other) {
+      for (ChannelId c = 0; c < channels; ++c)
+        transmitted_any |= actions_[base + c].has_value();
+    }
+    for (ChannelId c = 0; c < channels; ++c) {
+      RxSlot& slot = rx_[base + c];
+      if (slot.epoch != epoch_ || slot.tx_neighbors == 0) continue;
+      const bool listening =
+          !actions_[base + c].has_value() && !transmitted_any;
+      if (!listening) continue;
+      if (slot.tx_neighbors == 1) {
+        ++metrics_.deliveries;
+        if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
+        stations_[v]->on_receive(now_, c, *slot.msg);
+      } else if (capture && capture_rng_.bernoulli(cfg_.capture_prob)) {
+        // Remark 3: the conflict resolves to one of the messages.
+        ++metrics_.deliveries;
+        ++metrics_.capture_deliveries;
+        if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
+        stations_[v]->on_receive(now_, c, *slot.msg);
+      } else {
+        ++metrics_.collision_events;
+        if (trace_) trace_->on_collision(now_, v, c, slot.tx_neighbors);
+        // No collision detection: the station is not told anything.
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) stations_[v]->on_slot_end(now_);
+  ++now_;
+  ++metrics_.slots;
+}
+
+void RadioNetwork::run(SlotTime count) {
+  for (SlotTime i = 0; i < count; ++i) step();
+}
+
+}  // namespace radiomc

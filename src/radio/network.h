@@ -1,0 +1,110 @@
+#pragma once
+
+// The slot-synchronous radio network engine.
+//
+// Implements exactly the model of §1.1: communication proceeds in
+// synchronous time slots; in each slot each station either transmits or
+// receives; a receiving station hears a message iff *exactly one* of its
+// graph neighbors transmits; there is no collision detection (a collision
+// and silence are indistinguishable to the receiver).
+//
+// Channels: the paper runs collection and distribution concurrently
+// "either by using separate channels or by multiplexing" (§1.4) and then
+// assumes separate channels. The engine therefore supports `num_channels`
+// independent channels; the collision rule applies per channel; a station
+// has (conceptually) one transceiver per channel, so it may transmit on
+// several channels in one slot and receives on every channel it is not
+// transmitting on. Set `rx_while_tx_other = false` for a strict
+// single-transceiver half-duplex variant. Single-channel time
+// multiplexing is expressed by TimeDivisionStation (see station.h).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "radio/message.h"
+#include "radio/station.h"
+#include "radio/trace.h"
+#include "support/rng.h"
+
+namespace radiomc {
+
+/// Aggregate counters maintained by the engine; used by benches and by
+/// tests that assert behavioural properties (e.g. "token DFS never
+/// collides").
+struct NetMetrics {
+  std::uint64_t slots = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;        ///< successful receptions
+  std::uint64_t collision_events = 0;  ///< (listener, channel, slot) with >= 2 transmitting neighbors
+  std::uint64_t capture_deliveries = 0;  ///< collisions resolved by capture (Remark 3 mode)
+
+  void reset() { *this = NetMetrics{}; }
+};
+
+class RadioNetwork {
+ public:
+  struct Config {
+    ChannelId num_channels = 1;
+    /// If true (default), a station transmitting on channel c still
+    /// receives on the other channels in the same slot (one transceiver per
+    /// channel, the paper's separate-channels idealization). If false, any
+    /// transmission mutes all reception that slot (strict half duplex).
+    bool rx_while_tx_other = true;
+    /// §8 Remark 3's alternative conflict model ("in case of a conflict
+    /// the receiver may get one of the messages"): with this probability a
+    /// listener with >= 2 transmitting neighbors receives a uniformly
+    /// chosen one of their messages instead of silence. 0 = the paper's
+    /// main model (and the default).
+    double capture_prob = 0.0;
+    /// Seed of the engine-level randomness used for capture resolution.
+    std::uint64_t capture_seed = 0xCA97;
+  };
+
+  /// The graph must outlive the network.
+  explicit RadioNetwork(const Graph& g) : RadioNetwork(g, Config{}) {}
+  RadioNetwork(const Graph& g, Config cfg);
+
+  /// Registers the stations, one per node, in node-id order. Stations are
+  /// not owned; the caller keeps them alive while the network runs.
+  void attach(std::vector<Station*> stations);
+
+  /// Runs one synchronous slot.
+  void step();
+
+  /// Runs `count` slots.
+  void run(SlotTime count);
+
+  SlotTime now() const noexcept { return now_; }
+  const Graph& graph() const noexcept { return *graph_; }
+  const Config& config() const noexcept { return cfg_; }
+  const NetMetrics& metrics() const noexcept { return metrics_; }
+  NetMetrics& metrics() noexcept { return metrics_; }
+
+  /// Installs an observer for physical events (not owned; nullptr to
+  /// remove). Instrumentation only — stations cannot see it.
+  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+
+ private:
+  const Graph* graph_;
+  Config cfg_;
+  std::vector<Station*> stations_;
+  SlotTime now_ = 0;
+  NetMetrics metrics_;
+  TraceSink* trace_ = nullptr;
+  Rng capture_rng_;
+
+  // Per-slot scratch, epoch-stamped to avoid O(n) clears per channel.
+  struct RxSlot {
+    std::uint64_t epoch = 0;
+    std::uint32_t tx_neighbors = 0;
+    const Message* msg = nullptr;  // valid when tx_neighbors == 1
+  };
+  std::vector<RxSlot> rx_;                      // n * num_channels
+  std::uint64_t epoch_ = 0;
+  std::vector<std::optional<Message>> actions_;  // n * num_channels
+  std::vector<std::pair<NodeId, ChannelId>> tx_list_;  // scratch
+};
+
+}  // namespace radiomc

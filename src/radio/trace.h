@@ -1,0 +1,101 @@
+#pragma once
+
+// Optional engine instrumentation: a TraceSink observes every physical
+// event (transmission, delivery, collision). Used by tests that assert
+// slot-level properties (e.g. "the token DFS never collides"), by the
+// congestion experiment (E13), and for debugging protocol stacks.
+//
+// The sink is engine-side scaffolding, not part of the radio model — no
+// protocol may base decisions on it.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "radio/message.h"
+
+namespace radiomc {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_transmit(SlotTime t, NodeId sender, ChannelId ch,
+                           const Message& m) = 0;
+  virtual void on_deliver(SlotTime t, NodeId receiver, ChannelId ch,
+                          const Message& m) = 0;
+  virtual void on_collision(SlotTime t, NodeId receiver, ChannelId ch,
+                            std::uint32_t tx_neighbors) = 0;
+};
+
+/// Counts per-node activity; the cheap always-on-able sink.
+class ActivityCounter final : public TraceSink {
+ public:
+  explicit ActivityCounter(NodeId n)
+      : transmissions(n, 0), deliveries(n, 0), collisions(n, 0) {}
+
+  void on_transmit(SlotTime, NodeId sender, ChannelId,
+                   const Message&) override {
+    ++transmissions[sender];
+  }
+  void on_deliver(SlotTime, NodeId receiver, ChannelId,
+                  const Message&) override {
+    ++deliveries[receiver];
+  }
+  void on_collision(SlotTime, NodeId receiver, ChannelId,
+                    std::uint32_t) override {
+    ++collisions[receiver];
+  }
+
+  std::vector<std::uint64_t> transmissions;
+  std::vector<std::uint64_t> deliveries;
+  std::vector<std::uint64_t> collisions;
+};
+
+/// Records a bounded window of raw events (for debugging and tests).
+class EventRecorder final : public TraceSink {
+ public:
+  enum class Kind : std::uint8_t { kTransmit, kDeliver, kCollision };
+  struct Event {
+    Kind kind;
+    SlotTime slot;
+    NodeId node;
+    ChannelId channel;
+    MsgKind msg_kind;    // valid for transmit/deliver
+    NodeId origin;       // valid for transmit/deliver
+    std::uint32_t seq;   // valid for transmit/deliver
+    std::uint32_t tx_neighbors;  // valid for collision
+  };
+
+  explicit EventRecorder(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  void on_transmit(SlotTime t, NodeId sender, ChannelId ch,
+                   const Message& m) override {
+    push({Kind::kTransmit, t, sender, ch, m.kind, m.origin, m.seq, 0});
+  }
+  void on_deliver(SlotTime t, NodeId receiver, ChannelId ch,
+                  const Message& m) override {
+    push({Kind::kDeliver, t, receiver, ch, m.kind, m.origin, m.seq, 0});
+  }
+  void on_collision(SlotTime t, NodeId receiver, ChannelId ch,
+                    std::uint32_t k) override {
+    push({Kind::kCollision, t, receiver, ch, MsgKind::kData, kNoNode, 0, k});
+  }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  bool truncated() const noexcept { return truncated_; }
+
+ private:
+  void push(const Event& e) {
+    if (events_.size() >= capacity_) {
+      truncated_ = true;
+      return;
+    }
+    events_.push_back(e);
+  }
+  std::size_t capacity_;
+  std::vector<Event> events_;
+  bool truncated_ = false;
+};
+
+}  // namespace radiomc

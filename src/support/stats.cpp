@@ -1,0 +1,158 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace radiomc {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::stderr_mean() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::ci_halfwidth(double z) const noexcept {
+  return z * stderr_mean();
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+double Histogram::pmf(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [v, c] : buckets_)
+    acc += static_cast<double>(v) * static_cast<double>(c);
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min() const {
+  if (buckets_.empty()) throw std::out_of_range("Histogram::min on empty");
+  return buckets_.begin()->first;
+}
+
+std::int64_t Histogram::max() const {
+  if (buckets_.empty()) throw std::out_of_range("Histogram::max on empty");
+  return buckets_.rbegin()->first;
+}
+
+double ProportionEstimate::point() const noexcept {
+  if (trials == 0) return 0.0;
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+namespace {
+double wilson_center(double p, double n, double z) noexcept {
+  return (p + z * z / (2 * n)) / (1 + z * z / n);
+}
+double wilson_margin(double p, double n, double z) noexcept {
+  return (z / (1 + z * z / n)) * std::sqrt(p * (1 - p) / n + z * z / (4 * n * n));
+}
+}  // namespace
+
+double ProportionEstimate::wilson_lower(double z) const noexcept {
+  if (trials == 0) return 0.0;
+  const double p = point();
+  const double n = static_cast<double>(trials);
+  return std::max(0.0, wilson_center(p, n, z) - wilson_margin(p, n, z));
+}
+
+double ProportionEstimate::wilson_upper(double z) const noexcept {
+  if (trials == 0) return 1.0;
+  const double p = point();
+  const double n = static_cast<double>(trials);
+  return std::min(1.0, wilson_center(p, n, z) + wilson_margin(p, n, z));
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("fit_linear: need >= 2 matching points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (std::abs(denom) < std::numeric_limits<double>::epsilon()) {
+    f.intercept = sy / n;
+    return f;
+  }
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace radiomc

@@ -1,0 +1,92 @@
+#pragma once
+
+// Online statistics, histograms and simple confidence intervals used by the
+// experiment harness and the statistical tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace radiomc {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean (0 for fewer than two samples).
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Half-width of an approximate normal confidence interval on the mean.
+  /// `z` defaults to 2.576 (~99%); tests use generous z to stay stable.
+  double ci_halfwidth(double z = 2.576) const noexcept;
+
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact integer histogram over small discrete supports (queue lengths,
+/// counts of delivered messages per slot, ...).
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count(std::int64_t value) const;
+  /// Empirical probability of `value`.
+  double pmf(std::int64_t value) const;
+  /// Empirical mean.
+  double mean() const;
+  std::int64_t min() const;
+  std::int64_t max() const;
+  const std::map<std::int64_t, std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Estimated Bernoulli success probability with a Wilson score interval,
+/// which behaves well for probabilities near 0 or 1.
+struct ProportionEstimate {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+
+  double point() const noexcept;
+  /// Wilson lower/upper bounds at normal quantile z.
+  double wilson_lower(double z = 2.576) const noexcept;
+  double wilson_upper(double z = 2.576) const noexcept;
+};
+
+/// Ordinary least squares fit y = a + b*x; used by benches that check
+/// linear scaling in k (e.g. Theorem 4.4's (k + D) shape).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Convenience: format a double with fixed precision (for bench tables).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace radiomc

@@ -1,0 +1,42 @@
+#pragma once
+
+// Small arithmetic helpers shared across the library.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace radiomc {
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  std::uint32_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+static_assert(ceil_log2(1) == 0);
+static_assert(ceil_log2(2) == 1);
+static_assert(ceil_log2(3) == 2);
+static_assert(ceil_log2(1024) == 10);
+static_assert(ceil_log2(1025) == 11);
+
+/// The Decay protocol length for a degree bound `max_degree`:
+/// 2 * ceil(log2 Delta), at least 2 so that Decay is well defined even on
+/// degree-1 neighborhoods.
+constexpr std::uint32_t decay_length(std::uint32_t max_degree) noexcept {
+  const std::uint32_t l = 2 * ceil_log2(max_degree < 2 ? 2 : max_degree);
+  return l < 2 ? 2 : l;
+}
+
+/// Throws std::invalid_argument with `msg` when `cond` is false. Used to
+/// validate public API preconditions (Core Guidelines I.6).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace radiomc

@@ -1,0 +1,175 @@
+// Baselines: TDMA collection (deterministic, collision-free), naive
+// sequential k-broadcast, and the centralized wave-expansion schedule.
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive_kbroadcast.h"
+#include "baselines/round_robin_broadcast.h"
+#include "baselines/tdma_collection.h"
+#include "baselines/wave_schedule.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/broadcast_service.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+#include "support/util.h"
+
+namespace radiomc {
+namespace {
+
+using namespace radiomc::baselines;
+
+TEST(Tdma, DeliversEverythingWithoutCollisions) {
+  Rng rng(70);
+  const Graph g = gen::gnp_connected(20, 0.25, rng);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  std::vector<NodeId> sources;
+  for (int i = 0; i < 40; ++i)
+    sources.push_back(static_cast<NodeId>(rng.next_below(20)));
+  const auto out = run_tdma_collection(g, tree, sources);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.collisions, 0u);
+}
+
+TEST(Tdma, DeterministicTime) {
+  const Graph g = gen::path(10);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const auto a = run_tdma_collection(g, tree, {9, 5});
+  const auto b = run_tdma_collection(g, tree, {9, 5});
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.slots, b.slots);
+}
+
+TEST(Tdma, CostScalesWithN) {
+  // One message from the last node of a path: the TDMA frame costs ~n per
+  // hop, so doubling n roughly quadruples the time (n frames of size n).
+  auto cost = [](NodeId n) {
+    const Graph g = gen::path(n);
+    const BfsTree tree = oracle_bfs_tree(g, 0);
+    return run_tdma_collection(g, tree, {static_cast<NodeId>(n - 1)}).slots;
+  };
+  const auto c16 = cost(16);
+  const auto c32 = cost(32);
+  EXPECT_GT(c32, 3 * c16);
+}
+
+TEST(NaiveBroadcast, CompletesAndCountsFloods) {
+  Rng rng(71);
+  const Graph g = gen::grid(4, 4);
+  std::vector<NodeId> sources{0, 5, 10, 15};
+  const auto out = run_naive_k_broadcast(g, sources, rng.next());
+  ASSERT_TRUE(out.completed);
+  EXPECT_GE(out.floods_run, sources.size());
+}
+
+TEST(NaiveBroadcast, CostIsLinearInK) {
+  Rng rng(72);
+  const Graph g = gen::grid(3, 4);
+  std::vector<NodeId> k4(4, 0), k8(8, 0);
+  const auto c4 = run_naive_k_broadcast(g, k4, rng.next());
+  const auto c8 = run_naive_k_broadcast(g, k8, rng.next());
+  ASSERT_TRUE(c4.completed);
+  ASSERT_TRUE(c8.completed);
+  EXPECT_GT(c8.slots, c4.slots);
+}
+
+class WaveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaveSweep, ScheduleInformsEveryone) {
+  Rng rng(1300 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(20));
+  graphs.push_back(gen::grid(5, 5));
+  graphs.push_back(gen::gnp_connected(30, 0.2, rng));
+  graphs.push_back(gen::star(15));
+  graphs.push_back(gen::complete(12));
+  for (const Graph& g : graphs) {
+    const NodeId src = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const WaveSchedule s = compute_wave_schedule(g, src);
+    const WaveOutcome out = execute_wave_schedule(g, s);
+    EXPECT_TRUE(out.all_informed) << "n=" << g.num_nodes();
+    EXPECT_EQ(out.slots, s.rounds.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaveSweep, ::testing::Range(0, 4));
+
+TEST(Wave, LengthIsDLogSquaredFlavor) {
+  // O(D log^2 n): on a path the schedule is ~D rounds; on a clique O(1).
+  Rng rng(73);
+  const Graph path = gen::path(40);
+  const auto sp = compute_wave_schedule(path, 0);
+  EXPECT_LE(sp.rounds.size(), 2u * 40);
+  const Graph clique = gen::complete(20);
+  const auto sc = compute_wave_schedule(clique, 0);
+  EXPECT_LE(sc.rounds.size(), 3u);
+}
+
+TEST(Wave, SingleNode) {
+  const Graph g = gen::path(1);
+  const WaveSchedule s = compute_wave_schedule(g, 0);
+  EXPECT_TRUE(s.rounds.empty());
+  EXPECT_TRUE(execute_wave_schedule(g, s).all_informed);
+}
+
+TEST(RoundRobinBroadcast, InformsEveryoneWithoutCollisions) {
+  Rng rng(75);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = gen::gnp_connected(20, 0.2, rng);
+    const auto out = run_round_robin_broadcast(
+        g, static_cast<NodeId>(rng.next_below(20)));
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(out.collisions, 0u);
+  }
+}
+
+TEST(RoundRobinBroadcast, AtMostDFrames) {
+  const Graph g = gen::path(12);
+  const auto out = run_round_robin_broadcast(g, 0);
+  ASSERT_TRUE(out.completed);
+  EXPECT_LE(out.slots, 12u * 11u);
+  // informed_at is nondecreasing along the path.
+  for (NodeId v = 2; v < 12; ++v)
+    EXPECT_GE(out.informed_at[v], out.informed_at[v - 1]);
+}
+
+TEST(RoundRobinBroadcast, DeterministicAcrossRuns) {
+  Rng rng(76);
+  const Graph g = gen::grid(4, 4);
+  const auto a = run_round_robin_broadcast(g, 5);
+  const auto b = run_round_robin_broadcast(g, 5);
+  EXPECT_EQ(a.informed_at, b.informed_at);
+}
+
+TEST(RoundRobinBroadcast, AdversarialSinkPaysLinearly) {
+  // The E14 instance: sink adjacent only to the last-scheduled middle.
+  std::vector<std::pair<NodeId, NodeId>> e;
+  const NodeId middles = 30;
+  for (NodeId m = 1; m <= middles; ++m) e.emplace_back(0, m);
+  e.emplace_back(middles, middles + 1);
+  const Graph g(middles + 2, e);
+  const auto out = run_round_robin_broadcast(g, 0);
+  ASSERT_TRUE(out.completed);
+  EXPECT_GE(out.slots, static_cast<SlotTime>(middles));
+}
+
+TEST(Comparison, PipelineBeatsNaiveForLargeK) {
+  // E11's headline shape, in miniature: for k = 24 broadcasts the
+  // pipelined service is faster than k sequential floods.
+  Rng rng(74);
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  std::vector<NodeId> sources;
+  for (int i = 0; i < 24; ++i)
+    sources.push_back(static_cast<NodeId>(rng.next_below(16)));
+  const auto pipe = run_k_broadcast(g, tree, sources,
+                                    BroadcastServiceConfig::for_graph(g),
+                                    rng.next());
+  const auto naive = run_naive_k_broadcast(g, sources, rng.next());
+  ASSERT_TRUE(pipe.completed);
+  ASSERT_TRUE(naive.completed);
+  EXPECT_LT(pipe.slots, naive.slots);
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,123 @@
+// Cross-configuration correctness sweeps: the protocols must deliver
+// exactly-once / in-order under every combination of their knobs, not just
+// the defaults. TEST_P grids over (window, superphase length, channel
+// mode) for broadcast and (mod-3, decay length) for collection/p2p.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/broadcast_service.h"
+#include "protocols/collection.h"
+#include "protocols/point_to_point.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+// ---- broadcast: window x superphase x channel mode ------------------------
+
+using BcastParam = std::tuple<int /*window*/, int /*phases_per_sp*/,
+                              int /*mode*/, int /*seed*/>;
+
+class BroadcastConfigSweep : public ::testing::TestWithParam<BcastParam> {};
+
+TEST_P(BroadcastConfigSweep, ExactlyOnceInOrderEverywhere) {
+  const auto [window, psp, mode, seed] = GetParam();
+  Rng rng(11000 + seed);
+  const Graph g = gen::grid(3, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  BroadcastServiceConfig cfg = BroadcastServiceConfig::for_graph(g);
+  cfg.distribution.window = static_cast<std::uint32_t>(window);
+  if (psp > 0) cfg.distribution.phases_per_superphase = psp;
+  cfg.mode = mode == 0 ? BroadcastServiceConfig::ChannelMode::kSeparate
+                       : BroadcastServiceConfig::ChannelMode::kTimeDivision;
+  BroadcastService svc(g, tree, cfg, rng.next());
+  const int k = 18;
+  for (int i = 0; i < k; ++i)
+    svc.broadcast(static_cast<NodeId>(rng.next_below(12)), 300 + i);
+  ASSERT_TRUE(svc.run_until_delivered(300'000'000))
+      << "window=" << window << " psp=" << psp << " mode=" << mode;
+  for (NodeId v = 1; v < 12; ++v) {
+    const auto& log = svc.distribution(v).delivery_log();
+    ASSERT_EQ(log.size(), static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+      EXPECT_EQ(log[i].second, static_cast<std::uint32_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BroadcastConfigSweep,
+    ::testing::Combine(::testing::Values(0, 3, 16),   // window (0 = off)
+                       ::testing::Values(0, 1, 4),    // psp (0 = default)
+                       ::testing::Values(0, 1),       // channel mode
+                       ::testing::Values(1, 2)));     // seeds
+
+// ---- collection: gating x decay length ------------------------------------
+
+using CollParam = std::tuple<bool /*mod3*/, int /*decay_mult*/, int /*seed*/>;
+
+class CollectionConfigSweep : public ::testing::TestWithParam<CollParam> {};
+
+TEST_P(CollectionConfigSweep, CompleteAndExactlyOnce) {
+  const auto [mod3, mult, seed] = GetParam();
+  Rng rng(12000 + seed);
+  const Graph g = gen::gnp_connected(16, 0.3, rng);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  CollectionConfig cfg = CollectionConfig::for_graph(g);
+  cfg.slots.mod3_gating = mod3;
+  cfg.slots.decay_len = std::max(2u, cfg.slots.decay_len * mult / 2);
+  std::vector<Message> init;
+  for (NodeId v = 1; v < g.num_nodes(); ++v)
+    for (std::uint32_t s = 0; s < 2; ++s) {
+      Message m;
+      m.kind = MsgKind::kData;
+      m.origin = v;
+      m.seq = s;
+      init.push_back(m);
+    }
+  const auto out = run_collection(g, tree, init, cfg, rng.next());
+  ASSERT_TRUE(out.completed) << "mod3=" << mod3 << " mult=" << mult;
+  EXPECT_EQ(out.deliveries.size(), init.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CollectionConfigSweep,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1, 2, 4),  // x0.5, x1, x2 length
+                       ::testing::Values(1, 2)));
+
+// ---- p2p: gating x half-duplex engine --------------------------------------
+
+using P2pParam = std::tuple<bool /*mod3*/, int /*seed*/>;
+
+class P2pConfigSweep : public ::testing::TestWithParam<P2pParam> {};
+
+TEST_P(P2pConfigSweep, AllDelivered) {
+  const auto [mod3, seed] = GetParam();
+  Rng rng(13000 + seed);
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const PreparationResult prep = run_preparation(g, tree);
+  ASSERT_TRUE(prep.ok);
+  P2pConfig cfg = P2pConfig::for_graph(g);
+  cfg.slots.mod3_gating = mod3;
+  std::vector<P2pRequest> reqs;
+  for (int i = 0; i < 40; ++i)
+    reqs.push_back({static_cast<NodeId>(rng.next_below(16)),
+                    static_cast<NodeId>(rng.next_below(16)),
+                    static_cast<std::uint64_t>(i)});
+  const auto out = run_point_to_point(g, prep, reqs, cfg, rng.next());
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.delivered, reqs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, P2pConfigSweep,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,133 @@
+// The §5.1 preparation: token DFS traversals. Checks that they are
+// collision-free and deterministic, that the distributed DFS numbering
+// matches the centralized oracle, that every node ends up with exactly the
+// O(deg(v) log n)-bit routing state the paper prescribes, and that the
+// level-consistency watch rejects corrupted BFS levels.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/dfs_numbering.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+class PreparationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreparationSweep, MatchesOracleAndNeverCollides) {
+  Rng rng(600 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(15));
+  graphs.push_back(gen::grid(4, 5));
+  graphs.push_back(gen::gnp_connected(25, 0.25, rng));
+  graphs.push_back(gen::star(10));
+  graphs.push_back(gen::complete(8));
+  graphs.push_back(gen::random_tree(20, rng));
+  for (const Graph& g : graphs) {
+    const NodeId root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const BfsTree tree = oracle_bfs_tree(g, root);
+    const PreparationResult prep = run_preparation(g, tree);
+    ASSERT_TRUE(prep.ok) << "n=" << g.num_nodes();
+    EXPECT_EQ(prep.collisions, 0u) << "token DFS must be collision-free";
+
+    const DfsLabels oracle = oracle_dfs_labels(tree);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(prep.labels.number[v], oracle.number[v]) << "node " << v;
+      EXPECT_EQ(prep.labels.max_desc[v], oracle.max_desc[v]) << "node " << v;
+      // Routing state matches the tree.
+      const RoutingInfo& r = prep.routing[v];
+      EXPECT_EQ(r.parent, tree.parent[v]);
+      EXPECT_EQ(r.level, tree.level[v]);
+      EXPECT_EQ(r.children.size(), tree.children[v].size());
+      for (std::size_t i = 0; i < r.children.size(); ++i) {
+        const NodeId c = r.children[i];
+        EXPECT_EQ(c, tree.children[v][i]);
+        EXPECT_EQ(r.child_number[i], oracle.number[c]);
+        EXPECT_EQ(r.child_max_desc[i], oracle.max_desc[c]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreparationSweep, ::testing::Range(0, 5));
+
+TEST(Preparation, TraversalTakesTwoNMinusTwoTransmissions) {
+  const Graph g = gen::path(9);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const PreparationResult prep = run_preparation(g, tree);
+  ASSERT_TRUE(prep.ok);
+  // Each traversal is budgeted 2n+2 slots; slots counts both budgets.
+  EXPECT_EQ(prep.slots, 2u * (2 * 9 + 2));
+}
+
+TEST(Preparation, SingleNode) {
+  const Graph g = gen::path(1);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const PreparationResult prep = run_preparation(g, tree);
+  ASSERT_TRUE(prep.ok);
+  EXPECT_EQ(prep.labels.number[0], 0u);
+  EXPECT_EQ(prep.labels.max_desc[0], 0u);
+}
+
+TEST(Preparation, RoutingIntervalsRouteEveryPair) {
+  Rng rng(61);
+  const Graph g = gen::gnp_connected(22, 0.25, rng);
+  const BfsTree tree = oracle_bfs_tree(g, 3);
+  const PreparationResult prep = run_preparation(g, tree);
+  ASSERT_TRUE(prep.ok);
+  // Simulate the §5 routing rule centrally: from src, go up until the
+  // interval contains dst's address, then descend via child_towards. It
+  // must reach dst in at most 2*depth hops for every ordered pair.
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+      const std::uint32_t addr = prep.labels.number[dst];
+      NodeId cur = src;
+      int hops = 0;
+      while (prep.routing[cur].number != addr) {
+        ASSERT_LT(hops++, 2 * static_cast<int>(tree.depth) + 2)
+            << src << "->" << dst;
+        if (prep.routing[cur].subtree_contains(addr)) {
+          cur = prep.routing[cur].child_towards(addr);
+          ASSERT_NE(cur, kNoNode);
+        } else {
+          cur = prep.routing[cur].parent;
+          ASSERT_NE(cur, kNoNode);
+        }
+      }
+      EXPECT_EQ(cur, dst);
+    }
+  }
+}
+
+TEST(Preparation, ConsistencyWatchAcceptsTrueLevels) {
+  Rng rng(62);
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const PreparationResult prep = run_preparation(g, tree);
+  EXPECT_TRUE(prep.ok);
+}
+
+TEST(Preparation, ConsistencyWatchRejectsCorruptedLevels) {
+  // Feed the traversal a "BFS tree" whose levels are wrong: a path rooted
+  // at 0 but with node 3's level inflated. run_preparation must refuse.
+  const Graph g = gen::path(6);
+  BfsTree tree = oracle_bfs_tree(g, 0);
+  tree.level[3] = 5;  // violates level = 1 + min(neighbor levels)
+  const PreparationResult prep = run_preparation(g, tree);
+  EXPECT_FALSE(prep.ok);
+}
+
+TEST(Preparation, ConsistencyWatchRejectsAdjacentLevelGap) {
+  const Graph g = gen::path(6);
+  BfsTree tree = oracle_bfs_tree(g, 0);
+  // Shift everything beyond node 2 up by 2: neighbors 2-3 now differ by 3.
+  for (NodeId v = 3; v < 6; ++v) tree.level[v] += 2;
+  const PreparationResult prep = run_preparation(g, tree);
+  EXPECT_FALSE(prep.ok);
+}
+
+}  // namespace
+}  // namespace radiomc

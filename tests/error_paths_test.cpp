@@ -1,0 +1,110 @@
+// Precondition enforcement across the public API (Core Guidelines I.6):
+// constructors and drivers must reject malformed input loudly instead of
+// corrupting a simulation.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "protocols/broadcast_service.h"
+#include "protocols/collection.h"
+#include "protocols/distribution.h"
+#include "protocols/ethernet_emulation.h"
+#include "protocols/ranking.h"
+#include "protocols/tree.h"
+#include "radio/network.h"
+#include "radio/schedule.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+TEST(ErrorPaths, BfsTreeRejectsCyclesAndOrphans) {
+  // 0 <- 1 <- 2 but 3's parent is itself-ish (cycle 3 <-> 4).
+  EXPECT_THROW(
+      BfsTree::from_parents(0, {kNoNode, 0, 1, 4, 3}),
+      std::invalid_argument);
+  // Root with a parent.
+  EXPECT_THROW(BfsTree::from_parents(0, {1, 0}), std::invalid_argument);
+  // Parent out of range.
+  EXPECT_THROW(BfsTree::from_parents(0, {kNoNode, 9}),
+               std::invalid_argument);
+  // Root out of range.
+  EXPECT_THROW(BfsTree::from_parents(5, {kNoNode, 0}),
+               std::invalid_argument);
+}
+
+TEST(ErrorPaths, NetworkAttachValidation) {
+  const Graph g = gen::path(3);
+  RadioNetwork net(g);
+  EXPECT_THROW(net.attach({}), std::invalid_argument);  // wrong count
+  EXPECT_THROW(net.step(), std::invalid_argument);      // nothing attached
+}
+
+TEST(ErrorPaths, NetworkConfigValidation) {
+  const Graph g = gen::path(2);
+  RadioNetwork::Config bad;
+  bad.num_channels = 0;
+  EXPECT_THROW(RadioNetwork(g, bad), std::invalid_argument);
+  RadioNetwork::Config bad2;
+  bad2.capture_prob = 1.5;
+  EXPECT_THROW(RadioNetwork(g, bad2), std::invalid_argument);
+}
+
+TEST(ErrorPaths, PhaseClockValidation) {
+  SlotStructure s;
+  s.decay_len = 1;
+  EXPECT_THROW(PhaseClock{s}, std::invalid_argument);
+}
+
+TEST(ErrorPaths, DistributionRootOnlyCalls) {
+  const Graph g = gen::path(4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  DistributionStation leaf(3, tree, DistributionConfig::for_graph(g),
+                           Rng(1));
+  Message m;
+  EXPECT_THROW(leaf.root_enqueue(m), std::invalid_argument);
+  EXPECT_THROW(leaf.root_request_resend(0), std::invalid_argument);
+  EXPECT_THROW(leaf.root_checkpoint_ack(1, 1), std::invalid_argument);
+}
+
+TEST(ErrorPaths, CollectionInjectRequiresOwnOrigin) {
+  const Graph g = gen::path(3);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  CollectionStation st(2, tree, CollectionConfig::for_graph(g), Rng(2));
+  Message m;
+  m.origin = 1;  // not node 2
+  EXPECT_THROW(st.inject(m), std::invalid_argument);
+}
+
+TEST(ErrorPaths, RankingValidation) {
+  const Graph g = gen::path(4);
+  PreparationResult prep;  // empty routing
+  EXPECT_THROW(run_ranking(g, prep, {1, 2, 3, 4}, 1), std::invalid_argument);
+}
+
+TEST(ErrorPaths, VirtualEthernetNeedsPolicy) {
+  const Graph g = gen::path(4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  VirtualEthernet bus(g, tree, VirtualEthernet::Config::for_graph(g), 3);
+  EXPECT_THROW(bus.run_rounds(2), std::invalid_argument);
+}
+
+TEST(ErrorPaths, BroadcastServiceTreeMismatch) {
+  const Graph g = gen::path(4);
+  const Graph g2 = gen::path(5);
+  const BfsTree tree = oracle_bfs_tree(g2, 0);
+  EXPECT_THROW(
+      BroadcastService(g, tree, BroadcastServiceConfig::for_graph(g), 1),
+      std::invalid_argument);
+}
+
+TEST(ErrorPaths, MismatchedTreeInCollectionDriver) {
+  const Graph g = gen::path(4);
+  const BfsTree tree = oracle_bfs_tree(gen::path(6), 0);
+  EXPECT_THROW(
+      run_collection(g, tree, {}, CollectionConfig::for_graph(g), 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,127 @@
+// §8 Remarks 1 and 2 as features:
+//  * Remark 2 — anonymous networks: leader election with random campaign
+//    values; the setup stays always-correct even with a tiny value space
+//    (max-draw collisions just cost extra attempts).
+//  * Remark 1 — unknown n: Monte Carlo setup from an upper bound N with
+//    failure probability eps.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/leader_election.h"
+#include "protocols/setup.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+TEST(AnonymousElection, RandomValuesConvergeToOneMaximum) {
+  Rng rng(60);
+  const Graph g = gen::grid(4, 5);
+  LeaderConfig cfg;
+  cfg.decay_len = decay_length(g.max_degree());
+  cfg.random_id_bits = 48;  // long ids: collisions negligible (Remark 2)
+  // Drive manually to use the config.
+  // run_leader_election uses id mode; build stations directly.
+  std::vector<std::unique_ptr<MaxFloodStation>> st;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    st.push_back(std::make_unique<MaxFloodStation>(v, cfg, rng.split(v)));
+  std::deque<SingleStation> adapters;
+  std::vector<Station*> ptrs;
+  for (auto& s : st) adapters.emplace_back(*s);
+  for (auto& a : adapters) ptrs.push_back(&a);
+  RadioNetwork net(g);
+  net.attach(std::move(ptrs));
+  net.run(16 * (9 + 10 + 4) * cfg.decay_len);
+
+  std::uint64_t global_best = 0;
+  for (auto& s : st) global_best = std::max(global_best, s->best());
+  int believers = 0;
+  for (auto& s : st) {
+    EXPECT_EQ(s->best(), global_best);
+    if (s->believes_leader()) ++believers;
+  }
+  EXPECT_EQ(believers, 1);  // 48-bit draws: no collision at n = 20
+}
+
+class AnonymousSetup : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnonymousSetup, TinyIdSpaceStillAlwaysSucceeds) {
+  // 4-bit campaign values over 12 nodes: the maximum draw collides on a
+  // sizable fraction of attempts; the verification epochs must catch every
+  // collision and the redraws must eventually produce a unique winner.
+  Rng rng(6100 + GetParam());
+  const Graph g = gen::gnp_connected(12, 0.3, rng);
+  SetupTuning tuning;
+  tuning.random_id_bits = 4;
+  const SetupOutcome out = run_setup(g, rng.next(), tuning, /*attempts=*/20);
+  ASSERT_TRUE(out.ok) << "attempts=" << out.attempts;
+  EXPECT_TRUE(is_bfs_tree_of(g, out.tree));
+  const DfsLabels oracle = oracle_dfs_labels(out.tree);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(out.labels.number[v], oracle.number[v]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnonymousSetup, ::testing::Range(0, 4));
+
+TEST(AnonymousSetup, CollisionsActuallyCostAttempts) {
+  // With 2-bit values over 6 nodes the maximum draw collides on ~45% of
+  // attempts (it must be unique for the verification to pass), so across
+  // several runs the detect-and-redraw path must actually execute.
+  Rng rng(62);
+  const Graph g = gen::path(6);
+  SetupTuning tuning;
+  tuning.random_id_bits = 2;
+  bool saw_retry = false;
+  for (int i = 0; i < 10 && !saw_retry; ++i) {
+    const SetupOutcome out = run_setup(g, rng.next(), tuning, 24);
+    ASSERT_TRUE(out.ok);
+    saw_retry = out.attempts > 1;
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+class UnknownN : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnknownN, SucceedsWithHighProbabilityAndCorrectlyWhenItDoes) {
+  Rng rng(6300 + GetParam());
+  const Graph g = gen::grid(4, 5);
+  int ok = 0;
+  const int runs = 10;
+  for (int i = 0; i < runs; ++i) {
+    const UnknownNOutcome out =
+        run_setup_unknown_n(g, /*N=*/64, /*eps=*/0.01, rng.next());
+    if (out.tree_ok) {
+      ++ok;
+      EXPECT_TRUE(is_bfs_tree_of(g, out.tree));
+      if (out.prep_ok) {
+        const DfsLabels oracle = oracle_dfs_labels(out.tree);
+        for (NodeId v = 0; v < g.num_nodes(); ++v)
+          EXPECT_EQ(out.labels.number[v], oracle.number[v]);
+      }
+    }
+  }
+  // eps = 1%: demand at least 8/10 to keep the test stable.
+  EXPECT_GE(ok, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnknownN, ::testing::Range(0, 3));
+
+TEST(UnknownN, ValidatesArguments) {
+  const Graph g = gen::path(10);
+  EXPECT_THROW(run_setup_unknown_n(g, 5, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(run_setup_unknown_n(g, 20, 0.0, 1), std::invalid_argument);
+}
+
+TEST(UnknownN, BudgetsScaleWithUpperBound) {
+  Rng rng(64);
+  const Graph g = gen::path(12);
+  const auto tight = run_setup_unknown_n(g, 12, 0.05, rng.next());
+  const auto loose = run_setup_unknown_n(g, 200, 0.05, rng.next());
+  EXPECT_GT(loose.slots, tight.slots);  // paying for the bad bound
+}
+
+}  // namespace
+}  // namespace radiomc

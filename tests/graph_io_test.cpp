@@ -1,0 +1,69 @@
+// Graph serialization: DOT export shape, edge-list round trip, and the
+// tree-aware DOT overlay.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+TEST(GraphIo, DotContainsEveryNodeAndEdge) {
+  const Graph g = gen::path(4);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph radiomc"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("2 -- 3"), std::string::npos);
+}
+
+TEST(GraphIo, TreeDotMarksRootAndNonTreeEdges) {
+  const Graph g = gen::cycle(5);
+  const BfsTree tree = oracle_bfs_tree(g, 2);
+  const std::string dot = tree_to_dot(g, tree);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // the chord
+  EXPECT_NE(dot.find("(0)"), std::string::npos);           // root level
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    const Graph g = gen::gnp_connected(15, 0.25, rng);
+    const Graph back = from_edge_list(to_edge_list(g));
+    EXPECT_EQ(back.num_nodes(), g.num_nodes());
+    EXPECT_EQ(back.edge_list(), g.edge_list());
+  }
+}
+
+TEST(GraphIo, EdgeListParsingDetails) {
+  const Graph g = from_edge_list(
+      "# a comment\n"
+      "n 4\n"
+      "0 1\n"
+      "\n"
+      "1 2  # trailing comment\n"
+      "2 3\n");
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphIo, EdgeListRejectsGarbage) {
+  EXPECT_THROW(from_edge_list(""), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("0 1\n"), std::invalid_argument);  // no header
+  EXPECT_THROW(from_edge_list("n 3\n0\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("n 3\n0 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("n 2\n0 5\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, EmptyGraph) {
+  const Graph g = from_edge_list("n 0\n");
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(to_edge_list(g), "n 0\n");
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,231 @@
+// Tests for the graph substrate: CSR construction, generators (with their
+// advertised n/D/Delta), and the centralized algorithms tests and benches
+// rely on for ground truth.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+TEST(Graph, BasicConstruction) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {0, 1}});  // duplicate edge dropped
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5, {{3, 0}, {3, 4}, {3, 1}, {3, 2}});
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  Graph g(6, {{0, 5}, {1, 2}, {4, 3}});
+  const auto e = g.edge_list();
+  EXPECT_EQ(e.size(), 3u);
+  for (auto [u, v] : e) EXPECT_LT(u, v);
+}
+
+TEST(Generators, PathProperties) {
+  const Graph g = gen::path(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(diameter(g), 9u);
+}
+
+TEST(Generators, CycleProperties) {
+  const Graph g = gen::cycle(8);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, CompleteAndStar) {
+  EXPECT_EQ(gen::complete(6).num_edges(), 15u);
+  EXPECT_EQ(diameter(gen::complete(6)), 1u);
+  const Graph s = gen::star(9);
+  EXPECT_EQ(s.max_degree(), 8u);
+  EXPECT_EQ(diameter(s), 2u);
+}
+
+TEST(Generators, GridAndTorus) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);
+  EXPECT_EQ(diameter(g), 5u);
+  const Graph t = gen::torus(4, 4);
+  EXPECT_EQ(t.num_edges(), 32u);
+  EXPECT_EQ(diameter(t), 4u);
+  EXPECT_EQ(t.max_degree(), 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph h = gen::hypercube(4);
+  EXPECT_EQ(h.num_nodes(), 16u);
+  EXPECT_EQ(h.num_edges(), 32u);
+  EXPECT_EQ(diameter(h), 4u);
+}
+
+TEST(Generators, RaryTree) {
+  const Graph t = gen::rary_tree(13, 3);
+  EXPECT_EQ(t.num_edges(), 12u);
+  EXPECT_TRUE(is_connected(t));
+  EXPECT_LE(t.max_degree(), 4u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    const NodeId n = static_cast<NodeId>(2 + rng.next_below(60));
+    const Graph t = gen::random_tree(n, rng);
+    EXPECT_EQ(t.num_nodes(), n);
+    EXPECT_EQ(t.num_edges(), n - 1u);
+    EXPECT_TRUE(is_connected(t));
+  }
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph c = gen::caterpillar(5, 3);
+  EXPECT_EQ(c.num_nodes(), 20u);
+  EXPECT_TRUE(is_connected(c));
+  EXPECT_EQ(diameter(c), 6u);  // leaf - spine(5 nodes, 4 hops) - leaf
+}
+
+TEST(Generators, Barbell) {
+  const Graph b = gen::barbell(4, 2);
+  EXPECT_EQ(b.num_nodes(), 10u);
+  EXPECT_TRUE(is_connected(b));
+  // clique node -> 3 -> 4 -> 5 -> 6 -> clique node: 5 hops.
+  EXPECT_EQ(diameter(b), 5u);
+}
+
+TEST(Generators, GnpConnected) {
+  Rng rng(23);
+  const Graph g = gen::gnp_connected(40, 0.15, rng);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, UnitDiskConnected) {
+  Rng rng(29);
+  const Graph g =
+      gen::unit_disk_connected(60, gen::udg_connect_radius(60), rng);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Algorithms, BfsDistances) {
+  const Graph g = gen::grid(3, 3);
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.dist[8], 4u);
+  EXPECT_EQ(r.eccentricity, 4u);
+  EXPECT_EQ(r.parent[0], kNoNode);
+  // Deterministic smallest-id parents.
+  EXPECT_EQ(r.parent[4], 1u);
+}
+
+TEST(Algorithms, BfsUnreachable) {
+  Graph g(4, {{0, 1}});
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[2], BfsResult::kUnreached);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Algorithms, DoubleSweepMatchesOnTrees) {
+  Rng rng(31);
+  for (int i = 0; i < 8; ++i) {
+    const Graph t = gen::random_tree(40, rng);
+    EXPECT_EQ(diameter_double_sweep(t), diameter(t));
+  }
+}
+
+TEST(Algorithms, DoubleSweepLowerBounds) {
+  Rng rng(37);
+  const Graph g = gen::gnp_connected(50, 0.1, rng);
+  EXPECT_LE(diameter_double_sweep(g), diameter(g));
+}
+
+TEST(Algorithms, DfsNumberingTree) {
+  // Root 0 with children 1, 2; 1 has children 3, 4.
+  std::vector<NodeId> parent{kNoNode, 0, 0, 1, 1};
+  const DfsNumbering d = dfs_number_tree(parent, 0);
+  EXPECT_EQ(d.number[0], 0u);
+  EXPECT_EQ(d.number[1], 1u);
+  EXPECT_EQ(d.number[3], 2u);
+  EXPECT_EQ(d.number[4], 3u);
+  EXPECT_EQ(d.number[2], 4u);
+  EXPECT_EQ(d.max_desc[0], 4u);
+  EXPECT_EQ(d.max_desc[1], 3u);
+  EXPECT_EQ(d.max_desc[2], 4u);
+  EXPECT_EQ(d.max_desc[3], 2u);
+}
+
+TEST(Algorithms, DfsNumberingSubtreeIntervalsAreExact) {
+  Rng rng(41);
+  const Graph t = gen::random_tree(50, rng);
+  const BfsResult r = bfs(t, 0);
+  const DfsNumbering d = dfs_number_tree(r.parent, 0);
+  // v is an ancestor of u iff number[u] is in [number[v], max_desc[v]].
+  for (NodeId u = 0; u < 50; ++u) {
+    std::set<NodeId> ancestors;
+    for (NodeId a = u; a != kNoNode; a = r.parent[a]) ancestors.insert(a);
+    for (NodeId v = 0; v < 50; ++v) {
+      const bool in_interval =
+          d.number[v] <= d.number[u] && d.number[u] <= d.max_desc[v];
+      EXPECT_EQ(in_interval, ancestors.contains(v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+// Parameterized: every generator yields a graph whose BfsTree round-trips.
+class GeneratorSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSuite, OracleBfsTreeIsValid) {
+  Rng rng(100 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(17));
+  graphs.push_back(gen::cycle(12));
+  graphs.push_back(gen::grid(4, 6));
+  graphs.push_back(gen::star(15));
+  graphs.push_back(gen::complete(9));
+  graphs.push_back(gen::rary_tree(25, 2));
+  graphs.push_back(gen::random_tree(30, rng));
+  graphs.push_back(gen::gnp_connected(25, 0.2, rng));
+  graphs.push_back(gen::unit_disk_connected(30, 0.45, rng));
+  graphs.push_back(gen::caterpillar(6, 2));
+  graphs.push_back(gen::barbell(5, 3));
+  graphs.push_back(gen::hypercube(4));
+  for (const Graph& g : graphs) {
+    const NodeId root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const BfsTree t = oracle_bfs_tree(g, root);
+    EXPECT_TRUE(is_bfs_tree_of(g, t));
+    EXPECT_EQ(t.depth, bfs(g, root).eccentricity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSuite, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace radiomc

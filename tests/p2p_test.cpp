@@ -1,0 +1,180 @@
+// Point-to-point transmission (§5): correct delivery for arbitrary pairs,
+// exactly-once, LCA turning, self-addressing, heavy concurrent load, and
+// behaviour with and without the mod-3 gating.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/dfs_numbering.h"
+#include "protocols/point_to_point.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace radiomc {
+namespace {
+
+PreparationResult prepare(const Graph& g, NodeId root) {
+  const BfsTree tree = oracle_bfs_tree(g, root);
+  PreparationResult prep = run_preparation(g, tree);
+  EXPECT_TRUE(prep.ok);
+  return prep;
+}
+
+class P2pSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(P2pSweep, RandomPairsAllDelivered) {
+  Rng rng(700 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(14));
+  graphs.push_back(gen::grid(4, 5));
+  graphs.push_back(gen::gnp_connected(24, 0.25, rng));
+  graphs.push_back(gen::star(12));
+  for (const Graph& g : graphs) {
+    const PreparationResult prep = prepare(g, 0);
+    std::vector<P2pRequest> reqs;
+    for (int i = 0; i < 30; ++i) {
+      P2pRequest r;
+      r.src = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      r.dst = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      r.payload = 10'000 + i;
+      reqs.push_back(r);
+    }
+    const auto out = run_point_to_point(g, prep, reqs,
+                                        P2pConfig::for_graph(g), rng.next());
+    ASSERT_TRUE(out.completed) << "n=" << g.num_nodes();
+    EXPECT_EQ(out.delivered, reqs.size());
+    for (auto s : out.delivery_slot) EXPECT_NE(s, static_cast<SlotTime>(-1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, P2pSweep, ::testing::Range(0, 5));
+
+TEST(P2p, AllPairsOnSmallGraph) {
+  Rng rng(71);
+  const Graph g = gen::gnp_connected(10, 0.35, rng);
+  const PreparationResult prep = prepare(g, 4);
+  std::vector<P2pRequest> reqs;
+  for (NodeId s = 0; s < g.num_nodes(); ++s)
+    for (NodeId d = 0; d < g.num_nodes(); ++d)
+      reqs.push_back({s, d, static_cast<std::uint64_t>(s) * 100 + d});
+  const auto out = run_point_to_point(g, prep, reqs,
+                                      P2pConfig::for_graph(g), 72);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.delivered, reqs.size());
+}
+
+TEST(P2p, SelfAddressedIsInstant) {
+  const Graph g = gen::path(6);
+  const PreparationResult prep = prepare(g, 0);
+  const auto out = run_point_to_point(g, prep, {{3, 3, 9}},
+                                      P2pConfig::for_graph(g), 73);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.slots, 0u);
+}
+
+TEST(P2p, DescentOnlyWhenDestInSubtree) {
+  // src = root: the message never goes up, only down.
+  const Graph g = gen::path(10);
+  const PreparationResult prep = prepare(g, 0);
+  const auto out = run_point_to_point(g, prep, {{0, 9, 1}},
+                                      P2pConfig::for_graph(g), 74);
+  ASSERT_TRUE(out.completed);
+  EXPECT_GT(out.slots, 0u);
+}
+
+TEST(P2p, AscentOnlyWhenDestIsAncestor) {
+  const Graph g = gen::path(10);
+  const PreparationResult prep = prepare(g, 0);
+  const auto out = run_point_to_point(g, prep, {{9, 0, 1}},
+                                      P2pConfig::for_graph(g), 75);
+  ASSERT_TRUE(out.completed);
+}
+
+TEST(P2p, SiblingRouteTurnsAtLca) {
+  // Star: any leaf-to-leaf route must pass the hub (the LCA) and arrive.
+  const Graph g = gen::star(8);
+  const PreparationResult prep = prepare(g, 0);
+  std::vector<P2pRequest> reqs;
+  for (NodeId l = 1; l < 8; ++l)
+    reqs.push_back({l, static_cast<NodeId>(l % 7 + 1), l});
+  const auto out = run_point_to_point(g, prep, reqs,
+                                      P2pConfig::for_graph(g), 76);
+  ASSERT_TRUE(out.completed);
+}
+
+TEST(P2p, PayloadsSurviveRouting) {
+  Rng rng(77);
+  const Graph g = gen::grid(3, 5);
+  const PreparationResult prep = prepare(g, 7);
+  std::vector<P2pRequest> reqs{{0, 14, 0xdeadbeef}, {14, 0, 0xfeedface}};
+  // Drive manually to inspect sinks: reuse the driver and then check via
+  // delivery slots only (payload checking is covered by the ranking test
+  // end-to-end); here assert both complete on distinct routes.
+  const auto out = run_point_to_point(g, prep, reqs,
+                                      P2pConfig::for_graph(g), 78);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.delivered, 2u);
+}
+
+TEST(P2p, HeavyConcurrentLoadCompletes) {
+  Rng rng(79);
+  const Graph g = gen::grid(4, 4);
+  const PreparationResult prep = prepare(g, 0);
+  std::vector<P2pRequest> reqs;
+  for (int i = 0; i < 200; ++i)
+    reqs.push_back({static_cast<NodeId>(rng.next_below(16)),
+                    static_cast<NodeId>(rng.next_below(16)),
+                    static_cast<std::uint64_t>(i)});
+  const auto out = run_point_to_point(g, prep, reqs,
+                                      P2pConfig::for_graph(g), 80);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.delivered, 200u);
+}
+
+TEST(P2p, WorksWithoutMod3Gating) {
+  Rng rng(81);
+  const Graph g = gen::grid(4, 4);
+  const PreparationResult prep = prepare(g, 0);
+  P2pConfig cfg = P2pConfig::for_graph(g);
+  cfg.slots.mod3_gating = false;
+  std::vector<P2pRequest> reqs;
+  for (int i = 0; i < 40; ++i)
+    reqs.push_back({static_cast<NodeId>(rng.next_below(16)),
+                    static_cast<NodeId>(rng.next_below(16)),
+                    static_cast<std::uint64_t>(i)});
+  const auto out = run_point_to_point(g, prep, reqs, cfg, 82);
+  ASSERT_TRUE(out.completed);
+}
+
+// §5.4: amortized cost per message is O(log Delta) — doubling k roughly
+// doubles completion (see bench E5 for the precise series).
+TEST(P2p, ThroughputScalesWithK) {
+  Rng rng(83);
+  const Graph g = gen::grid(4, 4);
+  const PreparationResult prep = prepare(g, 0);
+  auto make = [&](int k) {
+    std::vector<P2pRequest> reqs;
+    for (int i = 0; i < k; ++i)
+      reqs.push_back({static_cast<NodeId>(rng.next_below(16)),
+                      static_cast<NodeId>(rng.next_below(16)),
+                      static_cast<std::uint64_t>(i)});
+    return reqs;
+  };
+  OnlineStats t50, t100;
+  for (int rep = 0; rep < 3; ++rep) {
+    t50.add(static_cast<double>(
+        run_point_to_point(g, prep, make(50), P2pConfig::for_graph(g),
+                           rng.next())
+            .slots));
+    t100.add(static_cast<double>(
+        run_point_to_point(g, prep, make(100), P2pConfig::for_graph(g),
+                           rng.next())
+            .slots));
+  }
+  EXPECT_LT(t100.mean() / t50.mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,148 @@
+// The §4.4 move algebra, with the paper's lemmas as executable properties:
+//  Lemma 4.5  Move(a,m) equals the singleton decomposition applied in order.
+//  Lemma 4.7  a <= b (witnessed) implies Move(a,m) <= Move(b,m) — tested
+//             through its corollary on completion times (Lemma 4.8).
+//  Lemma 4.12 domination of move vectors is monotone.
+//  Lemma 4.8  a <= b implies T(a,M) <= T(b,M) for every move sequence.
+
+#include <gtest/gtest.h>
+
+#include "queueing/partition.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+using namespace radiomc::queueing;
+
+Partition random_partition(std::size_t size, std::uint64_t maxv, Rng& rng) {
+  Partition a(size);
+  for (auto& x : a) x = rng.next_below(maxv + 1);
+  return a;
+}
+
+MoveVector random_move(std::size_t size, std::uint64_t maxv, Rng& rng) {
+  MoveVector m(size);
+  for (auto& x : m) x = rng.next_below(maxv + 1);
+  return m;
+}
+
+TEST(Move, BasicSemantics) {
+  // a = (a_1, a_2, a_3); move 1 from level 2 to level 1.
+  const Partition a{0, 2, 1};
+  const Partition r = move(a, {0, 1, 0});
+  EXPECT_EQ(r, (Partition{1, 1, 1}));
+}
+
+TEST(Move, Level1MovesIntoSink) {
+  const Partition a{3, 0, 0};
+  const Partition r = move(a, {2, 0, 0});
+  EXPECT_EQ(r, (Partition{1, 0, 0}));
+}
+
+TEST(Move, ClampsToAvailable) {
+  const Partition a{0, 1, 0};
+  const Partition r = move(a, {5, 5, 5});
+  EXPECT_EQ(r, (Partition{1, 0, 0}));
+}
+
+TEST(Move, DeltasComputedFromPreMoveState) {
+  // Level 2's output must not be servable by level 1 in the same move.
+  const Partition a{0, 0, 1};
+  const Partition r = move(a, {1, 1, 1});
+  EXPECT_EQ(r, (Partition{0, 1, 0}));
+}
+
+TEST(Singleton, Construction) {
+  const MoveVector e2 = singleton(4, 2);
+  EXPECT_EQ(e2, (MoveVector{0, 1, 0, 0}));
+  EXPECT_THROW(singleton(4, 0), std::invalid_argument);
+  EXPECT_THROW(singleton(4, 5), std::invalid_argument);
+}
+
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProperty, Lemma45SingletonDecomposition) {
+  Rng rng(2000 + GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t size = 2 + rng.next_below(5);
+    const Partition a = random_partition(size, 4, rng);
+    const MoveVector m = random_move(size, 3, rng);
+    const auto em = singleton_decomposition(m);
+    const Partition direct = move(a, m);
+    const Partition stepped = move_star(a, em, em.size());
+    EXPECT_EQ(direct, stepped);
+  }
+}
+
+TEST_P(PartitionProperty, Lemma412DominationMonotone) {
+  // If m dominates m' then Move(a, m) <= Move(a, m') in the <= order;
+  // checked through completion times: draining under the dominating
+  // sequence is never slower.
+  Rng rng(2100 + GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t size = 2 + rng.next_below(4);
+    const Partition a = random_partition(size, 3, rng);
+    // Build a random sequence and a dominated (weakened) copy.
+    std::vector<MoveVector> strong, weak;
+    for (int t = 0; t < 400; ++t) {
+      MoveVector s = random_move(size, 1, rng);
+      MoveVector w = s;
+      for (auto& x : w)
+        if (x > 0 && rng.bernoulli(0.3)) x = 0;
+      ASSERT_TRUE(dominates(s, w));
+      strong.push_back(std::move(s));
+      weak.push_back(std::move(w));
+    }
+    const std::uint64_t ts = completion_time(a, strong, 400);
+    const std::uint64_t tw = completion_time(a, weak, 400);
+    EXPECT_LE(ts, tw);
+  }
+}
+
+TEST_P(PartitionProperty, Lemma48MorePlacedMessagesNeverFinishFaster) {
+  // a <= b by construction (b = a + extra messages): under the SAME move
+  // sequence, b never completes before a.
+  Rng rng(2200 + GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t size = 2 + rng.next_below(4);
+    const Partition a = random_partition(size, 2, rng);
+    Partition b = a;
+    for (auto& x : b) x += rng.next_below(2);
+    const auto ms = random_move_sequence(size, 0.6, 0.0, 600, rng);
+    const std::uint64_t ta = completion_time(a, ms, 600);
+    const std::uint64_t tb = completion_time(b, ms, 600);
+    EXPECT_LE(ta, tb);
+  }
+}
+
+TEST_P(PartitionProperty, MovingMessagesDownNeverHurts) {
+  // a = Move(b, e_i) gives a <= b; completion under the same sequence is
+  // no slower (the paper's partial order, exercised one singleton deep).
+  Rng rng(2300 + GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t size = 2 + rng.next_below(4);
+    Partition b = random_partition(size, 3, rng);
+    const std::size_t i = 1 + rng.next_below(size);
+    const Partition a = move(b, singleton(size, i));
+    const auto ms = random_move_sequence(size, 0.5, 0.0, 800, rng);
+    EXPECT_LE(completion_time(a, ms, 800), completion_time(b, ms, 800));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Range(0, 5));
+
+TEST(CompletionTime, DrainedImmediately) {
+  const Partition zero{0, 0, 0};
+  const std::vector<MoveVector> ms{{1, 1, 1}};
+  EXPECT_EQ(completion_time(zero, ms, 10), 0u);
+}
+
+TEST(CompletionTime, ReportsNonCompletion) {
+  const Partition a{0, 1};
+  const std::vector<MoveVector> never{{0, 0}};
+  EXPECT_EQ(completion_time(a, never, 50), 51u);
+}
+
+}  // namespace
+}  // namespace radiomc

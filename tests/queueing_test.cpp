@@ -1,0 +1,229 @@
+// The queueing analysis (§4.2-4.3): closed forms, the Hsu-Burke stationary
+// law and Bernoulli departures (Thm 4.2), Little's law, Theorem 4.3's
+// completion formula for model 4, and Theorem 4.15's domination chain
+// E[T1] <= E[T2] <= E[T3] <= E[T4].
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/tree.h"
+#include "queueing/analysis.h"
+#include "queueing/bernoulli_server.h"
+#include "queueing/models.h"
+#include "queueing/tandem.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace radiomc {
+namespace {
+
+using namespace radiomc::queueing;
+
+TEST(Analysis, MuDecayValue) {
+  EXPECT_NEAR(mu_decay(), std::exp(-1.0) * (1 - std::exp(-1.0)), 1e-12);
+  EXPECT_NEAR(mu_decay(), 0.23254, 1e-4);
+}
+
+TEST(Analysis, HsuBurkePmfSumsToOne) {
+  for (double mu : {0.3, 0.6, 0.9}) {
+    for (double frac : {0.25, 0.5, 0.8}) {
+      const double lambda = mu * frac;
+      double sum = 0;
+      for (std::uint32_t j = 0; j < 4000; ++j)
+        sum += hsu_burke_pj(lambda, mu, j);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "mu=" << mu << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(Analysis, HsuBurkeMeanMatchesFormula) {
+  const double mu = 0.5, lambda = 0.3;
+  double mean = 0;
+  for (std::uint32_t j = 1; j < 4000; ++j)
+    mean += j * hsu_burke_pj(lambda, mu, j);
+  EXPECT_NEAR(mean, mean_queue_length(lambda, mu), 1e-9);
+}
+
+TEST(Analysis, LittlesLaw) {
+  const double mu = 0.4, lambda = 0.2;
+  EXPECT_NEAR(mean_wait(lambda, mu),
+              mean_queue_length(lambda, mu) / lambda, 1e-12);
+}
+
+TEST(Analysis, RejectsBadRates) {
+  EXPECT_THROW(hsu_burke_pj(0.5, 0.3, 0), std::invalid_argument);
+  EXPECT_THROW(mean_wait(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(mean_queue_length(0.3, 1.5), std::invalid_argument);
+}
+
+TEST(Server, StationaryDistributionMatchesHsuBurke) {
+  const double mu = 0.5, lambda = 0.25;
+  BernoulliServer srv(lambda, mu, Rng(101));
+  const auto stats = srv.run(20'000, 400'000);
+  for (std::uint32_t j = 0; j <= 4; ++j) {
+    const double emp = stats.queue_lengths.pmf(j);
+    EXPECT_NEAR(emp, hsu_burke_pj(lambda, mu, j), 0.01) << "j=" << j;
+  }
+  EXPECT_NEAR(stats.queue_lengths.mean(), mean_queue_length(lambda, mu),
+              0.05);
+}
+
+TEST(Server, DeparturesAreBernoulliLambda) {
+  // Thm 4.2: the departure process converges to Bernoulli(lambda): the
+  // rate is lambda and consecutive departures occur at rate lambda^2.
+  const double mu = 0.6, lambda = 0.3;
+  BernoulliServer srv(lambda, mu, Rng(102));
+  const auto stats = srv.run(20'000, 500'000);
+  const double rate =
+      static_cast<double>(stats.departures) / stats.steps;
+  EXPECT_NEAR(rate, lambda, 0.01);
+  const double pair_rate =
+      static_cast<double>(stats.consecutive_departures) / stats.steps;
+  EXPECT_NEAR(pair_rate, lambda * lambda, 0.01);
+}
+
+TEST(Tandem, ConservesCustomers) {
+  Rng rng(103);
+  TandemQueue q(5, 0.5, rng.split(1));
+  q.set_initial({3, 1, 4, 1, 5});
+  const std::uint64_t total = q.total_in_system();
+  std::uint64_t steps = 0;
+  while (q.total_in_system() > 0 && steps < 100'000) {
+    q.step(0.0);
+    ++steps;
+  }
+  EXPECT_EQ(q.sink_count(), total);
+}
+
+TEST(Tandem, OneHopPerStep) {
+  // A single customer at the far end of a depth-D tandem with mu = 1 needs
+  // exactly D steps (unit speed).
+  Rng rng(104);
+  TandemQueue q(7, 1.0, rng.split(2));
+  std::vector<std::uint64_t> init(7, 0);
+  init[6] = 1;
+  q.set_initial(init);
+  int steps = 0;
+  while (q.sink_count() == 0) {
+    q.step(0.0);
+    ++steps;
+  }
+  EXPECT_EQ(steps, 7);
+}
+
+TEST(Tandem, LittlesLawSojournPerStage) {
+  // E(T) = N/lambda = (1-lambda)/(mu-lambda) steps at every stage.
+  Rng rng(1040);
+  const double mu = 0.5, lambda = 0.25;
+  TandemQueue q(4, mu, rng.split(9));
+  q.enable_sojourn();
+  for (int i = 0; i < 50'000; ++i) q.step(lambda);  // warm up
+  // The stats accumulated during warmup start from empty queues; run long
+  // enough that the transient washes out of the mean.
+  for (int i = 0; i < 600'000; ++i) q.step(lambda);
+  const double predicted = mean_wait(lambda, mu);  // = 3.0
+  for (std::uint32_t s = 0; s < 4; ++s)
+    EXPECT_NEAR(q.sojourn(s).mean(), predicted, 0.12) << "stage " << s;
+}
+
+TEST(Tandem, SojournTracksInitialPlacement) {
+  Rng rng(1041);
+  TandemQueue q(3, 1.0, rng.split(1));
+  q.enable_sojourn();
+  q.set_initial({0, 0, 1});
+  for (int i = 0; i < 3; ++i) q.step(0.0);
+  EXPECT_EQ(q.sink_count(), 1u);
+  // mu = 1: one step of waiting per stage from the stamp conventions.
+  EXPECT_EQ(q.sojourn(2).count(), 1u);
+  EXPECT_EQ(q.sojourn(0).count(), 1u);
+}
+
+TEST(Tandem, StationarySamplerMatchesMean) {
+  Rng rng(105);
+  const double mu = 0.5, lambda = 0.3;
+  OnlineStats s;
+  for (int i = 0; i < 60'000; ++i)
+    s.add(static_cast<double>(sample_stationary_queue(lambda, mu, rng)));
+  EXPECT_NEAR(s.mean(), mean_queue_length(lambda, mu), 0.05);
+}
+
+TEST(Models, Theorem43CompletionFormula) {
+  // E[T(model 4)] = k/lambda + D (1-lambda)/(mu-lambda) phases.
+  Rng rng(106);
+  const double mu = 0.5, lambda = 0.25;
+  const std::uint32_t D = 12;
+  const std::uint64_t k = 60;
+  OnlineStats t;
+  for (int rep = 0; rep < 400; ++rep) {
+    Rng r = rng.split(rep);
+    t.add(static_cast<double>(run_model4(k, D, mu, lambda, r)));
+  }
+  const double predicted = model4_completion_phases(k, D, lambda, mu);
+  EXPECT_NEAR(t.mean(), predicted, 0.06 * predicted)
+      << "measured " << t.mean() << " predicted " << predicted;
+}
+
+TEST(Models, DominationChainModels2To4) {
+  Rng rng(107);
+  const double mu = 0.5;
+  const double lambda = mu / 2;
+  const std::uint32_t D = 10;
+  const std::uint64_t k = 40;
+  OnlineStats t2, t3, t4;
+  for (int rep = 0; rep < 300; ++rep) {
+    Rng r = rng.split(rep);
+    std::vector<std::uint32_t> levels;
+    for (std::uint64_t i = 0; i < k; ++i)
+      levels.push_back(
+          static_cast<std::uint32_t>(1 + r.next_below(D)));
+    t2.add(static_cast<double>(run_model2(levels, D, mu, r)));
+    t3.add(static_cast<double>(run_model3(k, D, mu, lambda, r)));
+    t4.add(static_cast<double>(run_model4(k, D, mu, lambda, r)));
+  }
+  EXPECT_LE(t2.mean(), t3.mean() + t3.ci_halfwidth());
+  EXPECT_LE(t3.mean(), t4.mean() + t4.ci_halfwidth());
+}
+
+TEST(Models, Model1DominatedByModel2) {
+  // Theorem 4.15's first link, measured: the radio network (phases) is
+  // stochastically faster than the path of mu-servers with the same
+  // initial placement, because Theorem 4.1 lower-bounds each level's
+  // advance probability by mu.
+  Rng rng(108);
+  const Graph g = gen::path(11);  // depth 10 from node 0
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const double mu = mu_decay();
+  OnlineStats t1, t2;
+  for (int rep = 0; rep < 25; ++rep) {
+    Rng r = rng.split(rep);
+    std::vector<NodeId> sources;
+    std::vector<std::uint32_t> levels;
+    for (int i = 0; i < 15; ++i) {
+      const NodeId v = static_cast<NodeId>(1 + r.next_below(10));
+      sources.push_back(v);
+      levels.push_back(tree.level[v]);
+    }
+    t1.add(static_cast<double>(
+        run_model1_phases(g, tree, sources, r.next())));
+    t2.add(static_cast<double>(run_model2(levels, tree.depth, mu, r)));
+  }
+  EXPECT_LE(t1.mean(), t2.mean() + t2.ci_halfwidth());
+}
+
+TEST(Models, Model3SlowerWithLowerArrivalRate) {
+  Rng rng(109);
+  const double mu = 0.6;
+  OnlineStats fast, slow;
+  for (int rep = 0; rep < 200; ++rep) {
+    Rng r = rng.split(rep);
+    fast.add(static_cast<double>(run_model3(30, 6, mu, 0.5, r)));
+    slow.add(static_cast<double>(run_model3(30, 6, mu, 0.15, r)));
+  }
+  EXPECT_LT(fast.mean(), slow.mean());
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,165 @@
+// Unit tests for the setup building blocks in isolation: the BGI flood,
+// leader election by max-flooding, and the staged BFS construction.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/bfs_build.h"
+#include "protocols/bgi_broadcast.h"
+#include "protocols/leader_election.h"
+#include "support/rng.h"
+#include "support/util.h"
+
+namespace radiomc {
+namespace {
+
+class FloodSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloodSweep, InformsEveryoneWithGenerousBudget) {
+  Rng rng(100 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(24));
+  graphs.push_back(gen::grid(5, 6));
+  graphs.push_back(gen::gnp_connected(30, 0.2, rng));
+  graphs.push_back(gen::star(16));
+  for (const Graph& g : graphs) {
+    const std::uint32_t d = diameter(g);
+    const std::uint64_t phases = 4 * (d + 2 * ceil_log2(g.num_nodes()) + 4);
+    const auto out = run_bgi_broadcast(
+        g, static_cast<NodeId>(rng.next_below(g.num_nodes())), phases,
+        rng.next());
+    EXPECT_EQ(out.informed_count, g.num_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloodSweep, ::testing::Range(0, 5));
+
+TEST(Flood, SourceIsInformedAtZero) {
+  const Graph g = gen::path(5);
+  const auto out = run_bgi_broadcast(g, 2, 4, 9);
+  EXPECT_TRUE(out.informed[2]);
+  EXPECT_EQ(out.informed_at[2], 0u);
+}
+
+TEST(Flood, InformedTimesRespectDistance) {
+  // First-reception times are nondecreasing in hop distance on a path
+  // (the flood can only move one hop per reception).
+  const Graph g = gen::path(12);
+  const auto out = run_bgi_broadcast(g, 0, 200, 10);
+  ASSERT_EQ(out.informed_count, 12u);
+  for (NodeId v = 2; v < 12; ++v)
+    EXPECT_GE(out.informed_at[v], out.informed_at[v - 1]);
+}
+
+TEST(Flood, ZeroPhasesInformsOnlySource) {
+  const Graph g = gen::path(4);
+  const auto out = run_bgi_broadcast(g, 0, 0, 11);
+  EXPECT_EQ(out.informed_count, 1u);
+}
+
+class LeaderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeaderSweep, MaxIdWinsUnanimously) {
+  Rng rng(300 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(20));
+  graphs.push_back(gen::grid(4, 6));
+  graphs.push_back(gen::gnp_connected(25, 0.25, rng));
+  graphs.push_back(gen::complete(12));
+  graphs.push_back(gen::star(14));
+  for (const Graph& g : graphs) {
+    const std::uint64_t phases =
+        16 * (diameter(g) + 2 * ceil_log2(g.num_nodes()) + 4);
+    const auto out = run_leader_election(g, phases, rng.next());
+    EXPECT_TRUE(out.unanimous)
+        << "n=" << g.num_nodes() << " phases=" << phases;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaderSweep, ::testing::Range(0, 5));
+
+TEST(Leader, BestNeverDecreasesAndIsAnId) {
+  Rng rng(44);
+  const Graph g = gen::gnp_connected(15, 0.3, rng);
+  const auto out = run_leader_election(g, 10, rng.next());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(out.best[v], v);  // own id is the floor
+    EXPECT_LT(out.best[v], g.num_nodes());
+  }
+}
+
+TEST(Leader, SingleNode) {
+  const Graph g = gen::path(1);
+  const auto out = run_leader_election(g, 1, 5);
+  EXPECT_TRUE(out.unanimous);
+}
+
+class BfsBuildSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsBuildSweep, ProducesTrueBfsTree) {
+  Rng rng(500 + GetParam());
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::path(20));
+  graphs.push_back(gen::grid(5, 5));
+  graphs.push_back(gen::gnp_connected(30, 0.2, rng));
+  graphs.push_back(gen::unit_disk_connected(25, 0.5, rng));
+  graphs.push_back(gen::complete(10));
+  for (const Graph& g : graphs) {
+    BfsBuildConfig cfg;
+    cfg.decay_len = decay_length(g.max_degree());
+    cfg.announce_phases = 2 * ceil_log2(g.num_nodes()) + 2;
+    const NodeId root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto out = run_bfs_build(g, root, cfg, rng.next());
+    ASSERT_TRUE(out.all_joined) << "n=" << g.num_nodes();
+    EXPECT_TRUE(out.is_true_bfs);
+    EXPECT_TRUE(is_bfs_tree_of(g, out.tree));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsBuildSweep, ::testing::Range(0, 5));
+
+TEST(BfsBuild, StopsAfterEmptyStage) {
+  // On a short path the driver must stop long before max_stages.
+  const Graph g = gen::path(6);
+  BfsBuildConfig cfg;
+  cfg.decay_len = 2;
+  cfg.announce_phases = 8;
+  const auto out = run_bfs_build(g, 0, cfg, 77);
+  ASSERT_TRUE(out.all_joined);
+  const std::uint64_t stage_slots =
+      static_cast<std::uint64_t>(cfg.decay_len) * cfg.announce_phases;
+  EXPECT_LE(out.slots, stage_slots * 7);
+}
+
+TEST(BfsBuild, SingleNodeGraph) {
+  const Graph g = gen::path(1);
+  BfsBuildConfig cfg;
+  const auto out = run_bfs_build(g, 0, cfg, 3);
+  EXPECT_TRUE(out.all_joined);
+  EXPECT_EQ(out.tree.depth, 0u);
+}
+
+TEST(BfsBuild, TinyBudgetCanFailButNeverLies) {
+  // announce_phases = 1 gives each stage a single Decay invocation; on a
+  // dense graph some nodes may miss it. The driver must then report
+  // all_joined = false rather than fabricate a tree.
+  Rng rng(91);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = gen::complete(16);
+    BfsBuildConfig cfg;
+    cfg.decay_len = decay_length(g.max_degree());
+    cfg.announce_phases = 1;
+    const auto out = run_bfs_build(g, 0, cfg, rng.next());
+    if (!out.all_joined) {
+      ++failures;
+    } else {
+      EXPECT_TRUE(is_bfs_tree_of(g, out.tree));
+    }
+  }
+  SUCCEED() << failures << "/10 tiny-budget builds failed (expected >= 0)";
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,74 @@
+// Long-running soak tests: sustained load through the full stacks, meant
+// to shake out slow state leaks, wraparound bugs, and rare orderings that
+// short tests miss. Still fast in absolute terms (a few seconds).
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/broadcast_service.h"
+#include "protocols/steady_state.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+TEST(Soak, BroadcastHundredsThroughTinyWindow) {
+  // 300 broadcasts through W = 4: the wire numbering wraps ~19 times, the
+  // checkpoint base advances 70+ times, and the drain guard gets exercised
+  // constantly. Everything must still be exactly-once in-order everywhere.
+  Rng rng(0x50AC);
+  const Graph g = gen::grid(3, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  BroadcastServiceConfig cfg = BroadcastServiceConfig::for_graph(g);
+  cfg.distribution.window = 4;
+  BroadcastService svc(g, tree, cfg, rng.next());
+  const int k = 300;
+  int injected = 0;
+  // Staggered injection to keep the window under continuous pressure.
+  while (injected < k) {
+    for (int burst = 0; burst < 5 && injected < k; ++burst)
+      svc.broadcast(static_cast<NodeId>(rng.next_below(12)), injected++);
+    for (int s = 0; s < 1500; ++s) svc.step();
+  }
+  ASSERT_TRUE(svc.run_until_delivered(500'000'000));
+  for (NodeId v = 1; v < 12; ++v) {
+    const auto& log = svc.distribution(v).delivery_log();
+    ASSERT_EQ(log.size(), static_cast<std::size_t>(k)) << "node " << v;
+    for (int i = 0; i < k; ++i)
+      ASSERT_EQ(log[i].second, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(Soak, LossyWindowedLongRun) {
+  Rng rng(0x50AD);
+  const Graph g = gen::path(8);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  BroadcastServiceConfig cfg = BroadcastServiceConfig::for_graph(g);
+  cfg.distribution.window = 6;
+  cfg.distribution.phases_per_superphase = 1;  // heavy per-hop loss
+  BroadcastService svc(g, tree, cfg, rng.next());
+  const int k = 120;
+  for (int i = 0; i < k; ++i)
+    svc.broadcast(static_cast<NodeId>(rng.next_below(8)), i);
+  ASSERT_TRUE(svc.run_until_delivered(500'000'000));
+  for (NodeId v = 1; v < 8; ++v)
+    EXPECT_EQ(svc.distribution(v).delivered_prefix(),
+              static_cast<std::uint32_t>(k));
+}
+
+TEST(Soak, OpenSystemHighLoadStaysStable) {
+  // lambda close to mu: queues build but must not diverge (the system is
+  // still subcritical); the run ends with the backlog drained to O(model).
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const auto out = run_collection_steady_state(
+      g, tree, 0.95 * 0.2325, /*phases=*/30'000, /*warmup=*/5'000, 0x50AE);
+  EXPECT_GT(out.delivered, 5'000u);
+  // Population stays bounded (far below the total injected).
+  EXPECT_LT(out.population.mean(), 50.0);
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,105 @@
+// Statistical quality checks on the randomness the protocols rely on:
+// chi-square uniformity of the RNG, independence of split streams, the
+// geometric law of Decay survival, and the advertised distribution of the
+// engine's capture choice.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "protocols/decay.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace radiomc {
+namespace {
+
+// Chi-square critical values at p = 0.001 (very generous; these are
+// fixed-seed tests, so they either always pass or indicate a real defect).
+double chi2_crit_999(int dof) {
+  // Interpolated table for the dofs used below.
+  switch (dof) {
+    case 15: return 37.7;
+    case 63: return 103.4;
+    case 255: return 340.0;
+    default: return 3.0 * dof;  // loose fallback
+  }
+}
+
+TEST(RngStats, ChiSquareUniformBuckets) {
+  Rng rng(0x57A7);
+  constexpr int kBuckets = 64;
+  constexpr int kSamples = 640'000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = double(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, chi2_crit_999(kBuckets - 1));
+}
+
+TEST(RngStats, LowBitsAreUniformToo) {
+  Rng rng(0x57A8);
+  std::array<int, 16> counts{};
+  for (int i = 0; i < 160'000; ++i) ++counts[rng.next() & 15];
+  const double expected = 10'000;
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, chi2_crit_999(15));
+}
+
+TEST(RngStats, SplitStreamsUncorrelated) {
+  Rng parent(0x57A9);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  // Pearson correlation of paired doubles ~ 0.
+  OnlineStats xs, ys;
+  double sxy = 0;
+  const int n = 100'000;
+  std::vector<double> xv(n), yv(n);
+  for (int i = 0; i < n; ++i) {
+    xv[i] = a.next_double();
+    yv[i] = b.next_double();
+    xs.add(xv[i]);
+    ys.add(yv[i]);
+  }
+  for (int i = 0; i < n; ++i)
+    sxy += (xv[i] - xs.mean()) * (yv[i] - ys.mean());
+  const double corr =
+      sxy / (static_cast<double>(n - 1) * xs.stddev() * ys.stddev());
+  EXPECT_LT(std::abs(corr), 0.02);
+}
+
+TEST(RngStats, NextDoubleMoments) {
+  Rng rng(0x57AA);
+  OnlineStats s;
+  for (int i = 0; i < 400'000; ++i) s.add(rng.next_double());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.002);
+  EXPECT_GE(s.min(), 0.0);
+  EXPECT_LT(s.max(), 1.0);
+}
+
+TEST(DecayStats, SurvivalIsGeometricHalf) {
+  // P(exactly j transmissions) = 2^-j for j < L, 2^-(L-1) at the cap.
+  Rng rng(0x57AB);
+  constexpr int L = 8;
+  Histogram h;
+  for (int trial = 0; trial < 200'000; ++trial) {
+    DecayProcess d(L);
+    d.start();
+    int tx = 0;
+    while (d.wants_transmit()) {
+      ++tx;
+      d.after_transmit(rng);
+    }
+    h.add(tx);
+  }
+  for (int j = 1; j < L; ++j)
+    EXPECT_NEAR(h.pmf(j), std::pow(0.5, j), 0.004) << "j=" << j;
+  EXPECT_NEAR(h.pmf(L), std::pow(0.5, L - 1), 0.004);
+}
+
+}  // namespace
+}  // namespace radiomc

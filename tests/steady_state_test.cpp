@@ -1,0 +1,66 @@
+// The open-system (reactive) collection driver behind experiment E15.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "protocols/steady_state.h"
+#include "protocols/tree.h"
+#include "queueing/analysis.h"
+
+namespace radiomc {
+namespace {
+
+TEST(SteadyState, ConservesMessages) {
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const auto out = run_collection_steady_state(
+      g, tree, 0.1, /*phases=*/3000, /*warmup=*/0, 11);
+  // At low load everything injected drains: delivered ~ arrivals (the last
+  // few may be in flight).
+  EXPECT_GE(out.arrivals, 200u);
+  EXPECT_GE(out.delivered + 20, out.arrivals);
+}
+
+TEST(SteadyState, PopulationGrowsWithLoad) {
+  const Graph g = gen::path(13);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const double mu = queueing::mu_decay();
+  const auto lo = run_collection_steady_state(g, tree, 0.2 * mu, 8000, 1000, 12);
+  const auto hi = run_collection_steady_state(g, tree, 0.9 * mu, 8000, 1000, 12);
+  EXPECT_GT(hi.population.mean(), lo.population.mean());
+  EXPECT_GT(hi.sojourn_phases.mean(), 0.0);
+}
+
+TEST(SteadyState, DominatedByModel4ClosedForms) {
+  const Graph g = gen::path(11);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const double mu = queueing::mu_decay();
+  const double lambda = mu / 2;
+  const auto out =
+      run_collection_steady_state(g, tree, lambda, 15000, 2000, 13);
+  EXPECT_LE(out.population.mean(),
+            tree.depth * queueing::mean_queue_length(lambda, mu) * 1.05);
+  EXPECT_LE(out.sojourn_phases.mean(),
+            tree.depth * queueing::mean_wait(lambda, mu) * 1.05);
+}
+
+TEST(SteadyState, UniformPlacementWorksToo) {
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const auto out = run_collection_steady_state(
+      g, tree, 0.15, 4000, 500, 14, ArrivalPlacement::kUniform);
+  EXPECT_GT(out.delivered, 0u);
+  EXPECT_GT(out.sojourn_phases.mean(), 0.0);
+}
+
+TEST(SteadyState, ValidatesArguments) {
+  const Graph g = gen::path(4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  EXPECT_THROW(run_collection_steady_state(g, tree, 0.0, 10, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(run_collection_steady_state(g, tree, 1.0, 10, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radiomc

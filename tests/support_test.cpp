@@ -1,0 +1,191 @@
+// Unit tests for the support module: RNG determinism and distributional
+// sanity, online statistics, histograms, proportion intervals, linear fit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/util.h"
+
+namespace radiomc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(7), parent2(7);
+  Rng c1 = parent1.split(42);
+  Rng c2 = parent2.split(42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.next(), c2.next());
+  Rng c3 = parent1.split(43);
+  EXPECT_NE(c1.next(), c3.next());
+}
+
+TEST(Rng, NextBelowIsInRangeAndRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - 800);
+    EXPECT_LT(c, trials / 10 + 800);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(5);
+  const int trials = 200'000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(6);
+  int heads = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.coin()) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    lo |= v == -3;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Util, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+}
+
+TEST(Util, DecayLength) {
+  EXPECT_EQ(decay_length(0), 2u);
+  EXPECT_EQ(decay_length(1), 2u);
+  EXPECT_EQ(decay_length(2), 2u);
+  EXPECT_EQ(decay_length(3), 4u);
+  EXPECT_EQ(decay_length(4), 4u);
+  EXPECT_EQ(decay_length(16), 8u);
+  EXPECT_EQ(decay_length(17), 10u);
+}
+
+TEST(Util, RequireThrows) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+}
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombined) {
+  OnlineStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double() * 10;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineStats, EmptyAndSingle) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndPmf) {
+  Histogram h;
+  h.add(1, 3);
+  h.add(2, 1);
+  h.add(1);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(1), 4u);
+  EXPECT_DOUBLE_EQ(h.pmf(2), 0.2);
+  EXPECT_DOUBLE_EQ(h.mean(), (4.0 * 1 + 1.0 * 2) / 5.0);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 2);
+}
+
+TEST(Proportion, WilsonBracketsTruth) {
+  ProportionEstimate p{300, 1000};
+  EXPECT_NEAR(p.point(), 0.3, 1e-12);
+  EXPECT_LT(p.wilson_lower(), 0.3);
+  EXPECT_GT(p.wilson_upper(), 0.3);
+  EXPECT_GT(p.wilson_lower(), 0.25);
+  EXPECT_LT(p.wilson_upper(), 0.35);
+}
+
+TEST(Proportion, DegenerateCases) {
+  ProportionEstimate none{0, 0};
+  EXPECT_EQ(none.point(), 0.0);
+  ProportionEstimate all{50, 50};
+  EXPECT_GT(all.wilson_lower(), 0.85);
+  EXPECT_DOUBLE_EQ(all.wilson_upper(), 1.0);
+}
+
+TEST(LinearFitTest, RecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, RejectsBadInput) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1.0, 2.0}, {2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,191 @@
+// The trace facility and — most importantly — a reference-model property
+// test: the engine's delivery decisions are re-derived independently by a
+// brute-force O(n^2) oracle over random transmission patterns.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "protocols/dfs_numbering.h"
+#include "protocols/tree.h"
+#include "radio/network.h"
+#include "radio/trace.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+/// Transmits per an externally supplied random schedule; logs receptions.
+class RandomTalker final : public Station {
+ public:
+  // schedule[t] = channel to transmit on, or -1 to listen.
+  std::vector<int> schedule;
+  std::vector<std::tuple<SlotTime, ChannelId, NodeId>> heard;
+
+  void on_slot(SlotTime t, std::span<std::optional<Message>> tx) override {
+    if (t < schedule.size() && schedule[t] >= 0) {
+      Message m;
+      tx[schedule[t]] = m;
+    }
+  }
+  void on_receive(SlotTime t, ChannelId ch, const Message& m) override {
+    heard.emplace_back(t, ch, m.sender);
+  }
+};
+
+class EngineReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineReference, MatchesBruteForceOracle) {
+  Rng rng(7000 + GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    const NodeId n = static_cast<NodeId>(4 + rng.next_below(16));
+    const Graph g = gen::gnp_connected(n, 0.3, rng);
+    const ChannelId channels = 1 + static_cast<ChannelId>(rng.next_below(2));
+    const SlotTime horizon = 20;
+
+    std::deque<RandomTalker> st(n);
+    std::vector<Station*> ptrs;
+    for (auto& s : st) {
+      s.schedule.resize(horizon);
+      for (auto& c : s.schedule)
+        c = rng.bernoulli(0.4)
+                ? static_cast<int>(rng.next_below(channels))
+                : -1;
+      ptrs.push_back(&s);
+    }
+    RadioNetwork::Config cfg;
+    cfg.num_channels = channels;
+    RadioNetwork net(g, cfg);
+    net.attach(std::move(ptrs));
+    net.run(horizon);
+
+    // Brute-force oracle: for every (t, receiver, channel), v hears the
+    // unique transmitting neighbor iff exactly one exists and v is not
+    // itself transmitting on that channel.
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<std::tuple<SlotTime, ChannelId, NodeId>> expected;
+      for (SlotTime t = 0; t < horizon; ++t) {
+        for (ChannelId c = 0; c < channels; ++c) {
+          if (st[v].schedule[t] == static_cast<int>(c)) continue;
+          NodeId the_one = kNoNode;
+          int count = 0;
+          for (NodeId u : g.neighbors(v)) {
+            if (st[u].schedule[t] == static_cast<int>(c)) {
+              ++count;
+              the_one = u;
+            }
+          }
+          if (count == 1) expected.emplace_back(t, c, the_one);
+        }
+      }
+      EXPECT_EQ(st[v].heard, expected) << "node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineReference, ::testing::Range(0, 5));
+
+TEST(Trace, ActivityCounterMatchesMetrics) {
+  Rng rng(71);
+  const Graph g = gen::gnp_connected(12, 0.3, rng);
+  std::deque<RandomTalker> st(12);
+  std::vector<Station*> ptrs;
+  for (auto& s : st) {
+    s.schedule.resize(30);
+    for (auto& c : s.schedule) c = rng.bernoulli(0.5) ? 0 : -1;
+    ptrs.push_back(&s);
+  }
+  ActivityCounter counter(12);
+  RadioNetwork net(g);
+  net.set_trace(&counter);
+  net.attach(std::move(ptrs));
+  net.run(30);
+
+  std::uint64_t tx = 0, rx = 0, coll = 0;
+  for (NodeId v = 0; v < 12; ++v) {
+    tx += counter.transmissions[v];
+    rx += counter.deliveries[v];
+    coll += counter.collisions[v];
+  }
+  EXPECT_EQ(tx, net.metrics().transmissions);
+  EXPECT_EQ(rx, net.metrics().deliveries);
+  EXPECT_EQ(coll, net.metrics().collision_events);
+}
+
+TEST(Trace, EventRecorderOrderingAndContent) {
+  const Graph g = gen::path(3);
+  std::deque<RandomTalker> st(3);
+  st[0].schedule = {0, -1};
+  st[2].schedule = {-1, 0};
+  std::vector<Station*> ptrs{&st[0], &st[1], &st[2]};
+  EventRecorder rec;
+  RadioNetwork net(g);
+  net.set_trace(&rec);
+  net.attach(std::move(ptrs));
+  net.run(2);
+
+  ASSERT_EQ(rec.events().size(), 4u);  // 2 transmits + 2 deliveries
+  EXPECT_EQ(rec.events()[0].kind, EventRecorder::Kind::kTransmit);
+  EXPECT_EQ(rec.events()[0].node, 0u);
+  EXPECT_EQ(rec.events()[1].kind, EventRecorder::Kind::kDeliver);
+  EXPECT_EQ(rec.events()[1].node, 1u);
+  EXPECT_EQ(rec.events()[2].slot, 1u);
+  EXPECT_FALSE(rec.truncated());
+}
+
+TEST(Trace, RecorderCapacityBound) {
+  const Graph g = gen::path(2);
+  std::deque<RandomTalker> st(2);
+  st[0].schedule.assign(100, 0);
+  std::vector<Station*> ptrs{&st[0], &st[1]};
+  EventRecorder rec(10);
+  RadioNetwork net(g);
+  net.set_trace(&rec);
+  net.attach(std::move(ptrs));
+  net.run(100);
+  EXPECT_EQ(rec.events().size(), 10u);
+  EXPECT_TRUE(rec.truncated());
+}
+
+TEST(Trace, TokenDfsIsCollisionFreeSlotBySlot) {
+  // Stronger than the metrics check in dfs_test: the recorded event stream
+  // of the preparation traversals must contain no collision events and at
+  // most one transmission per slot.
+  Rng rng(72);
+  const Graph g = gen::gnp_connected(15, 0.3, rng);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  // run_preparation owns its networks; replicate traversal 1 with a trace.
+  std::vector<std::unique_ptr<GraphDfsStation>> dfs1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nb = g.neighbors(v);
+    dfs1.push_back(std::make_unique<GraphDfsStation>(
+        v, std::vector<NodeId>(nb.begin(), nb.end())));
+    dfs1.back()->set_local(tree.level[v], tree.parent[v], v == tree.root);
+  }
+  std::deque<SingleStation> adapters;
+  std::vector<Station*> ptrs;
+  for (auto& s : dfs1) adapters.emplace_back(*s);
+  for (auto& a : adapters) ptrs.push_back(&a);
+  EventRecorder rec;
+  RadioNetwork net(g);
+  net.set_trace(&rec);
+  net.attach(std::move(ptrs));
+  net.run(2 * g.num_nodes() + 2);
+
+  SlotTime last_tx_slot = static_cast<SlotTime>(-1);
+  for (const auto& e : rec.events()) {
+    EXPECT_NE(e.kind, EventRecorder::Kind::kCollision);
+    if (e.kind == EventRecorder::Kind::kTransmit) {
+      EXPECT_NE(e.slot, last_tx_slot) << "two transmitters in one slot";
+      last_tx_slot = e.slot;
+    }
+  }
+  for (auto& s : dfs1) EXPECT_TRUE(s->visited());
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -1,0 +1,306 @@
+// radiomc_sim — command-line front end for the protocol suite.
+//
+//   radiomc_sim setup     --topology grid:8x8 [--seed S] [--anon BITS]
+//   radiomc_sim collect   --topology udg:64 --k 32 [--seed S] [--no-mod3]
+//   radiomc_sim broadcast --topology gnp:50:0.12 --k 16 [--window W]
+//   radiomc_sim p2p       --topology grid:6x6 --k 64
+//   radiomc_sim ranking   --topology path:32
+//   radiomc_sim ethernet  --topology grid:4x5 --frames 2
+//   radiomc_sim flood     --topology tree:63:2 [--source V]
+//   radiomc_sim topo      --topology <spec>          (print graph stats)
+//
+// Every command prints a compact human-readable report; exit code 0 iff
+// the run completed. Seeds make everything reproducible.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/graph_io.h"
+#include "graph/topology_spec.h"
+#include "protocols/steady_state.h"
+#include "queueing/analysis.h"
+#include "protocols/bgi_broadcast.h"
+#include "protocols/broadcast_service.h"
+#include "protocols/collection.h"
+#include "protocols/ethernet_emulation.h"
+#include "protocols/point_to_point.h"
+#include "protocols/ranking.h"
+#include "protocols/setup.h"
+#include "protocols/tree.h"
+#include "support/rng.h"
+#include "support/util.h"
+
+using namespace radiomc;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.contains(key); }
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : std::stoull(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    require(key.rfind("--", 0) == 0, "options look like --key [value]");
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.options[key] = argv[++i];
+    } else {
+      a.options[key] = "1";  // boolean flag
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::printf(
+      "radiomc_sim <command> --topology <spec> [options]\n"
+      "\n"
+      "commands:\n"
+      "  topo       print graph statistics   [--dot [--tree]] [--edges]\n"
+      "  steady     open-system collection   [--lambda F] [--phases P]\n"
+      "  setup      run the full §2 setup phase      [--anon BITS]\n"
+      "  flood      BGI single-source broadcast      [--source V]\n"
+      "  collect    k-message collection (§4)        [--k K] [--no-mod3]\n"
+      "  p2p        k point-to-point messages (§5)   [--k K]\n"
+      "  broadcast  pipelined k-broadcast (§6)       [--k K] [--window W]\n"
+      "  ranking    the §7 ranking protocol\n"
+      "  ethernet   virtual bus + backoff MAC (§1.3) [--frames F]\n"
+      "\n"
+      "common options: --seed S (default 1)\n"
+      "topology spec: %s\n",
+      gen::spec_grammar().c_str());
+  return 2;
+}
+
+struct World {
+  Graph g;
+  SetupOutcome setup;
+};
+
+World make_world(const Args& a, bool need_setup) {
+  Rng rng(a.get_u64("seed", 1));
+  World w;
+  w.g = gen::from_spec(a.get("topology", ""), rng);
+  if (need_setup) {
+    SetupTuning tuning;
+    tuning.random_id_bits =
+        static_cast<std::uint32_t>(a.get_u64("anon", 0));
+    w.setup = run_setup(w.g, rng.next(), tuning);
+    require(w.setup.ok, "setup failed");
+  }
+  return w;
+}
+
+int cmd_topo(const Args& a) {
+  Rng rng(a.get_u64("seed", 1));
+  const Graph g = gen::from_spec(a.get("topology", ""), rng);
+  if (a.has("dot")) {
+    if (a.has("tree")) {
+      std::fputs(tree_to_dot(g, oracle_bfs_tree(g, 0)).c_str(), stdout);
+    } else {
+      std::fputs(to_dot(g).c_str(), stdout);
+    }
+    return 0;
+  }
+  if (a.has("edges")) {
+    std::fputs(to_edge_list(g).c_str(), stdout);
+    return 0;
+  }
+  std::printf("topology %s\n", a.get("topology", "").c_str());
+  std::printf("  n        = %u\n", g.num_nodes());
+  std::printf("  edges    = %zu\n", g.num_edges());
+  std::printf("  Delta    = %u\n", g.max_degree());
+  std::printf("  diameter = %u\n", diameter(g));
+  std::printf("  decay_len= %u\n", decay_length(g.max_degree()));
+  return 0;
+}
+
+int cmd_steady(const Args& a) {
+  World w = make_world(a, true);
+  Rng rng(a.get_u64("seed", 1) ^ 0xB5);
+  const double mu = queueing::mu_decay();
+  const double lambda =
+      std::stod(a.get("lambda", "0.5")) * mu;  // --lambda = fraction of mu
+  const auto out = run_collection_steady_state(
+      w.g, w.setup.tree, lambda, a.get_u64("phases", 20000),
+      a.get_u64("warmup", 2000), rng.next());
+  std::printf("open-system collection at lambda = %.4f (%.0f%% of mu):\n",
+              lambda, 100.0 * lambda / mu);
+  std::printf("  arrivals/delivered  = %llu / %llu\n",
+              static_cast<unsigned long long>(out.arrivals),
+              static_cast<unsigned long long>(out.delivered));
+  std::printf("  mean population     = %.3f (model-4 bound %.3f)\n",
+              out.population.mean(),
+              w.setup.tree.depth * queueing::mean_queue_length(lambda, mu));
+  std::printf("  mean sojourn phases = %.3f (model-4 bound %.3f)\n",
+              out.sojourn_phases.mean(),
+              w.setup.tree.depth * queueing::mean_wait(lambda, mu));
+  return 0;
+}
+
+int cmd_setup(const Args& a) {
+  const World w = make_world(a, true);
+  std::printf("setup on %s: leader=%u depth=%u attempts=%u\n",
+              a.get("topology", "").c_str(), w.setup.leader,
+              w.setup.tree.depth, w.setup.attempts);
+  std::printf("  schedule slots = %llu\n",
+              static_cast<unsigned long long>(w.setup.slots));
+  std::printf("  work slots     = %llu\n",
+              static_cast<unsigned long long>(w.setup.work_slots));
+  std::printf("  BFS tree valid = %s\n",
+              is_bfs_tree_of(w.g, w.setup.tree) ? "yes" : "NO");
+  return 0;
+}
+
+int cmd_flood(const Args& a) {
+  Rng rng(a.get_u64("seed", 1));
+  const Graph g = gen::from_spec(a.get("topology", ""), rng);
+  const NodeId source = static_cast<NodeId>(a.get_u64("source", 0));
+  const std::uint64_t phases =
+      4 * (diameter(g) + 2 * ceil_log2(g.num_nodes()) + 4);
+  const auto out = run_bgi_broadcast(g, source, phases, rng.next());
+  std::printf("BGI flood from %u: informed %u/%u in %llu slots\n", source,
+              out.informed_count, g.num_nodes(),
+              static_cast<unsigned long long>(out.slots));
+  return out.informed_count == g.num_nodes() ? 0 : 1;
+}
+
+int cmd_collect(const Args& a) {
+  World w = make_world(a, true);
+  Rng rng(a.get_u64("seed", 1) ^ 0xC0);
+  const std::uint64_t k = a.get_u64("k", 16);
+  std::vector<Message> init;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    Message m;
+    m.kind = MsgKind::kData;
+    m.origin = static_cast<NodeId>(rng.next_below(w.g.num_nodes()));
+    if (m.origin == w.setup.leader) m.origin = (m.origin + 1) % w.g.num_nodes();
+    m.seq = static_cast<std::uint32_t>(i);
+    init.push_back(m);
+  }
+  CollectionConfig cfg = CollectionConfig::for_graph(w.g);
+  if (a.has("no-mod3")) cfg.slots.mod3_gating = false;
+  const auto out = run_collection(w.g, w.setup.tree, init, cfg, rng.next());
+  std::printf("collection of %llu messages: %s in %llu slots (%llu phases)\n",
+              static_cast<unsigned long long>(k),
+              out.completed ? "complete" : "INCOMPLETE",
+              static_cast<unsigned long long>(out.slots),
+              static_cast<unsigned long long>(out.phases));
+  return out.completed ? 0 : 1;
+}
+
+int cmd_p2p(const Args& a) {
+  World w = make_world(a, true);
+  Rng rng(a.get_u64("seed", 1) ^ 0xB1);
+  const std::uint64_t k = a.get_u64("k", 16);
+  PreparationResult prep;
+  prep.ok = true;
+  prep.labels = w.setup.labels;
+  prep.routing = w.setup.routing;
+  std::vector<P2pRequest> reqs;
+  for (std::uint64_t i = 0; i < k; ++i)
+    reqs.push_back({static_cast<NodeId>(rng.next_below(w.g.num_nodes())),
+                    static_cast<NodeId>(rng.next_below(w.g.num_nodes())), i});
+  const auto out = run_point_to_point(w.g, prep, reqs,
+                                      P2pConfig::for_graph(w.g), rng.next());
+  std::printf("p2p: %llu/%llu delivered in %llu slots\n",
+              static_cast<unsigned long long>(out.delivered),
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(out.slots));
+  return out.completed ? 0 : 1;
+}
+
+int cmd_broadcast(const Args& a) {
+  World w = make_world(a, true);
+  Rng rng(a.get_u64("seed", 1) ^ 0xB2);
+  const std::uint64_t k = a.get_u64("k", 16);
+  BroadcastServiceConfig cfg = BroadcastServiceConfig::for_graph(w.g);
+  cfg.distribution.window =
+      static_cast<std::uint32_t>(a.get_u64("window", 0));
+  std::vector<NodeId> sources;
+  for (std::uint64_t i = 0; i < k; ++i)
+    sources.push_back(static_cast<NodeId>(rng.next_below(w.g.num_nodes())));
+  const auto out =
+      run_k_broadcast(w.g, w.setup.tree, sources, cfg, rng.next());
+  std::printf("k-broadcast of %llu: %s in %llu slots (%llu resends)\n",
+              static_cast<unsigned long long>(k),
+              out.completed ? "complete" : "INCOMPLETE",
+              static_cast<unsigned long long>(out.slots),
+              static_cast<unsigned long long>(out.root_resends));
+  return out.completed ? 0 : 1;
+}
+
+int cmd_ranking(const Args& a) {
+  World w = make_world(a, true);
+  Rng rng(a.get_u64("seed", 1) ^ 0xB3);
+  PreparationResult prep;
+  prep.ok = true;
+  prep.labels = w.setup.labels;
+  prep.routing = w.setup.routing;
+  std::vector<std::uint64_t> ids(w.g.num_nodes());
+  for (auto& id : ids) id = rng.next();
+  const auto out = run_ranking(w.g, prep, ids, rng.next());
+  std::printf("ranking of %u nodes: %s in %llu slots\n", w.g.num_nodes(),
+              out.completed ? "complete" : "INCOMPLETE",
+              static_cast<unsigned long long>(out.total_slots()));
+  if (out.completed)
+    std::printf("  node 0: id %#llx -> rank %u\n",
+                static_cast<unsigned long long>(ids[0]), out.rank[0]);
+  return out.completed ? 0 : 1;
+}
+
+int cmd_ethernet(const Args& a) {
+  World w = make_world(a, true);
+  Rng rng(a.get_u64("seed", 1) ^ 0xB4);
+  const std::uint32_t frames =
+      static_cast<std::uint32_t>(a.get_u64("frames", 1));
+  std::vector<std::uint32_t> backlog(w.g.num_nodes(), frames);
+  const auto out =
+      run_ethernet_backoff(w.g, w.setup.tree, backlog, rng.next());
+  std::printf("virtual ethernet: %zu frames drained in %u bus rounds "
+              "(%llu slots): %s\n",
+              out.delivered_frames.size(), out.rounds_used,
+              static_cast<unsigned long long>(out.slots),
+              out.completed ? "complete" : "INCOMPLETE");
+  return out.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  try {
+    if (a.command == "topo") return cmd_topo(a);
+    if (a.command == "setup") return cmd_setup(a);
+    if (a.command == "flood") return cmd_flood(a);
+    if (a.command == "collect") return cmd_collect(a);
+    if (a.command == "p2p") return cmd_p2p(a);
+    if (a.command == "broadcast") return cmd_broadcast(a);
+    if (a.command == "ranking") return cmd_ranking(a);
+    if (a.command == "ethernet") return cmd_ethernet(a);
+    if (a.command == "steady") return cmd_steady(a);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
