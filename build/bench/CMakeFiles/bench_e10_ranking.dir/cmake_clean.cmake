@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_ranking.dir/bench_e10_ranking.cpp.o"
+  "CMakeFiles/bench_e10_ranking.dir/bench_e10_ranking.cpp.o.d"
+  "bench_e10_ranking"
+  "bench_e10_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

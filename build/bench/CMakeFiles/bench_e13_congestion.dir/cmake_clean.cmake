@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_congestion.dir/bench_e13_congestion.cpp.o"
+  "CMakeFiles/bench_e13_congestion.dir/bench_e13_congestion.cpp.o.d"
+  "bench_e13_congestion"
+  "bench_e13_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_det_gap.dir/bench_e14_det_gap.cpp.o"
+  "CMakeFiles/bench_e14_det_gap.dir/bench_e14_det_gap.cpp.o.d"
+  "bench_e14_det_gap"
+  "bench_e14_det_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_det_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_steady_state.dir/bench_e15_steady_state.cpp.o"
+  "CMakeFiles/bench_e15_steady_state.dir/bench_e15_steady_state.cpp.o.d"
+  "bench_e15_steady_state"
+  "bench_e15_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

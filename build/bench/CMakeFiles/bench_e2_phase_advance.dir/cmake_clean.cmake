@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_phase_advance.dir/bench_e2_phase_advance.cpp.o"
+  "CMakeFiles/bench_e2_phase_advance.dir/bench_e2_phase_advance.cpp.o.d"
+  "bench_e2_phase_advance"
+  "bench_e2_phase_advance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_phase_advance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_setup.dir/bench_e3_setup.cpp.o"
+  "CMakeFiles/bench_e3_setup.dir/bench_e3_setup.cpp.o.d"
+  "bench_e3_setup"
+  "bench_e3_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

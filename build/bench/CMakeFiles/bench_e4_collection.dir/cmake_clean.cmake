@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_collection.dir/bench_e4_collection.cpp.o"
+  "CMakeFiles/bench_e4_collection.dir/bench_e4_collection.cpp.o.d"
+  "bench_e4_collection"
+  "bench_e4_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

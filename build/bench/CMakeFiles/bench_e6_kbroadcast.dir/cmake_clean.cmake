@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_kbroadcast.dir/bench_e6_kbroadcast.cpp.o"
+  "CMakeFiles/bench_e6_kbroadcast.dir/bench_e6_kbroadcast.cpp.o.d"
+  "bench_e6_kbroadcast"
+  "bench_e6_kbroadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_kbroadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_tandem.dir/bench_e7_tandem.cpp.o"
+  "CMakeFiles/bench_e7_tandem.dir/bench_e7_tandem.cpp.o.d"
+  "bench_e7_tandem"
+  "bench_e7_tandem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_tandem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

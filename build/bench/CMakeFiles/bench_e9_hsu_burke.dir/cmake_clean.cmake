@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_hsu_burke.dir/bench_e9_hsu_burke.cpp.o"
+  "CMakeFiles/bench_e9_hsu_burke.dir/bench_e9_hsu_burke.cpp.o.d"
+  "bench_e9_hsu_burke"
+  "bench_e9_hsu_burke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_hsu_burke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

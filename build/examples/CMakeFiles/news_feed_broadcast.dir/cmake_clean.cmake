@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_feed_broadcast.dir/news_feed_broadcast.cpp.o"
+  "CMakeFiles/news_feed_broadcast.dir/news_feed_broadcast.cpp.o.d"
+  "news_feed_broadcast"
+  "news_feed_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_feed_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_messenger.dir/p2p_messenger.cpp.o"
+  "CMakeFiles/p2p_messenger.dir/p2p_messenger.cpp.o.d"
+  "p2p_messenger"
+  "p2p_messenger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_messenger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

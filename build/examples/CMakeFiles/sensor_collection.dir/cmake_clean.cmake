@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_collection.dir/sensor_collection.cpp.o"
+  "CMakeFiles/sensor_collection.dir/sensor_collection.cpp.o.d"
+  "sensor_collection"
+  "sensor_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

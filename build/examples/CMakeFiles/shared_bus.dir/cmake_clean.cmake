@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_bus.dir/shared_bus.cpp.o"
+  "CMakeFiles/shared_bus.dir/shared_bus.cpp.o.d"
+  "shared_bus"
+  "shared_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/naive_kbroadcast.cpp" "src/CMakeFiles/radiomc_baselines.dir/baselines/naive_kbroadcast.cpp.o" "gcc" "src/CMakeFiles/radiomc_baselines.dir/baselines/naive_kbroadcast.cpp.o.d"
+  "/root/repo/src/baselines/round_robin_broadcast.cpp" "src/CMakeFiles/radiomc_baselines.dir/baselines/round_robin_broadcast.cpp.o" "gcc" "src/CMakeFiles/radiomc_baselines.dir/baselines/round_robin_broadcast.cpp.o.d"
+  "/root/repo/src/baselines/tdma_collection.cpp" "src/CMakeFiles/radiomc_baselines.dir/baselines/tdma_collection.cpp.o" "gcc" "src/CMakeFiles/radiomc_baselines.dir/baselines/tdma_collection.cpp.o.d"
+  "/root/repo/src/baselines/wave_schedule.cpp" "src/CMakeFiles/radiomc_baselines.dir/baselines/wave_schedule.cpp.o" "gcc" "src/CMakeFiles/radiomc_baselines.dir/baselines/wave_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/radiomc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomc_baselines.dir/baselines/naive_kbroadcast.cpp.o"
+  "CMakeFiles/radiomc_baselines.dir/baselines/naive_kbroadcast.cpp.o.d"
+  "CMakeFiles/radiomc_baselines.dir/baselines/round_robin_broadcast.cpp.o"
+  "CMakeFiles/radiomc_baselines.dir/baselines/round_robin_broadcast.cpp.o.d"
+  "CMakeFiles/radiomc_baselines.dir/baselines/tdma_collection.cpp.o"
+  "CMakeFiles/radiomc_baselines.dir/baselines/tdma_collection.cpp.o.d"
+  "CMakeFiles/radiomc_baselines.dir/baselines/wave_schedule.cpp.o"
+  "CMakeFiles/radiomc_baselines.dir/baselines/wave_schedule.cpp.o.d"
+  "libradiomc_baselines.a"
+  "libradiomc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomc_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/radiomc_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/radiomc_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/radiomc_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/radiomc_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/radiomc_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/radiomc_graph.dir/graph/graph_io.cpp.o"
+  "CMakeFiles/radiomc_graph.dir/graph/graph_io.cpp.o.d"
+  "CMakeFiles/radiomc_graph.dir/graph/topology_spec.cpp.o"
+  "CMakeFiles/radiomc_graph.dir/graph/topology_spec.cpp.o.d"
+  "libradiomc_graph.a"
+  "libradiomc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/bfs_build.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/bfs_build.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/bfs_build.cpp.o.d"
+  "/root/repo/src/protocols/bgi_broadcast.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/bgi_broadcast.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/bgi_broadcast.cpp.o.d"
+  "/root/repo/src/protocols/broadcast_service.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/broadcast_service.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/broadcast_service.cpp.o.d"
+  "/root/repo/src/protocols/collection.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/collection.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/collection.cpp.o.d"
+  "/root/repo/src/protocols/decay.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/decay.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/decay.cpp.o.d"
+  "/root/repo/src/protocols/dfs_numbering.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/dfs_numbering.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/dfs_numbering.cpp.o.d"
+  "/root/repo/src/protocols/distribution.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/distribution.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/distribution.cpp.o.d"
+  "/root/repo/src/protocols/ethernet_emulation.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/ethernet_emulation.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/ethernet_emulation.cpp.o.d"
+  "/root/repo/src/protocols/leader_election.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/leader_election.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/leader_election.cpp.o.d"
+  "/root/repo/src/protocols/point_to_point.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/point_to_point.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/point_to_point.cpp.o.d"
+  "/root/repo/src/protocols/ranking.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/ranking.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/ranking.cpp.o.d"
+  "/root/repo/src/protocols/setup.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/setup.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/setup.cpp.o.d"
+  "/root/repo/src/protocols/steady_state.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/steady_state.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/steady_state.cpp.o.d"
+  "/root/repo/src/protocols/tree.cpp" "src/CMakeFiles/radiomc_protocols.dir/protocols/tree.cpp.o" "gcc" "src/CMakeFiles/radiomc_protocols.dir/protocols/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/radiomc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

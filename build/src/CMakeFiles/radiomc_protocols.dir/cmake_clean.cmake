@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomc_protocols.dir/protocols/bfs_build.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/bfs_build.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/bgi_broadcast.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/bgi_broadcast.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/broadcast_service.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/broadcast_service.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/collection.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/collection.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/decay.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/decay.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/dfs_numbering.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/dfs_numbering.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/distribution.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/distribution.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/ethernet_emulation.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/ethernet_emulation.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/leader_election.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/leader_election.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/point_to_point.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/point_to_point.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/ranking.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/ranking.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/setup.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/setup.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/steady_state.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/steady_state.cpp.o.d"
+  "CMakeFiles/radiomc_protocols.dir/protocols/tree.cpp.o"
+  "CMakeFiles/radiomc_protocols.dir/protocols/tree.cpp.o.d"
+  "libradiomc_protocols.a"
+  "libradiomc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

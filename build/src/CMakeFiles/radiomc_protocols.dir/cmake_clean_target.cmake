@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libradiomc_protocols.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/analysis.cpp" "src/CMakeFiles/radiomc_queueing.dir/queueing/analysis.cpp.o" "gcc" "src/CMakeFiles/radiomc_queueing.dir/queueing/analysis.cpp.o.d"
+  "/root/repo/src/queueing/bernoulli_server.cpp" "src/CMakeFiles/radiomc_queueing.dir/queueing/bernoulli_server.cpp.o" "gcc" "src/CMakeFiles/radiomc_queueing.dir/queueing/bernoulli_server.cpp.o.d"
+  "/root/repo/src/queueing/models.cpp" "src/CMakeFiles/radiomc_queueing.dir/queueing/models.cpp.o" "gcc" "src/CMakeFiles/radiomc_queueing.dir/queueing/models.cpp.o.d"
+  "/root/repo/src/queueing/partition.cpp" "src/CMakeFiles/radiomc_queueing.dir/queueing/partition.cpp.o" "gcc" "src/CMakeFiles/radiomc_queueing.dir/queueing/partition.cpp.o.d"
+  "/root/repo/src/queueing/tandem.cpp" "src/CMakeFiles/radiomc_queueing.dir/queueing/tandem.cpp.o" "gcc" "src/CMakeFiles/radiomc_queueing.dir/queueing/tandem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/radiomc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

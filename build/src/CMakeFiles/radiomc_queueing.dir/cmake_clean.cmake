@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomc_queueing.dir/queueing/analysis.cpp.o"
+  "CMakeFiles/radiomc_queueing.dir/queueing/analysis.cpp.o.d"
+  "CMakeFiles/radiomc_queueing.dir/queueing/bernoulli_server.cpp.o"
+  "CMakeFiles/radiomc_queueing.dir/queueing/bernoulli_server.cpp.o.d"
+  "CMakeFiles/radiomc_queueing.dir/queueing/models.cpp.o"
+  "CMakeFiles/radiomc_queueing.dir/queueing/models.cpp.o.d"
+  "CMakeFiles/radiomc_queueing.dir/queueing/partition.cpp.o"
+  "CMakeFiles/radiomc_queueing.dir/queueing/partition.cpp.o.d"
+  "CMakeFiles/radiomc_queueing.dir/queueing/tandem.cpp.o"
+  "CMakeFiles/radiomc_queueing.dir/queueing/tandem.cpp.o.d"
+  "libradiomc_queueing.a"
+  "libradiomc_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomc_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomc_radio.dir/radio/network.cpp.o"
+  "CMakeFiles/radiomc_radio.dir/radio/network.cpp.o.d"
+  "CMakeFiles/radiomc_radio.dir/radio/schedule.cpp.o"
+  "CMakeFiles/radiomc_radio.dir/radio/schedule.cpp.o.d"
+  "libradiomc_radio.a"
+  "libradiomc_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomc_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomc_support.dir/support/rng.cpp.o"
+  "CMakeFiles/radiomc_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/radiomc_support.dir/support/stats.cpp.o"
+  "CMakeFiles/radiomc_support.dir/support/stats.cpp.o.d"
+  "libradiomc_support.a"
+  "libradiomc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ack_test.dir/ack_test.cpp.o"
+  "CMakeFiles/ack_test.dir/ack_test.cpp.o.d"
+  "ack_test"
+  "ack_test.pdb"
+  "ack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

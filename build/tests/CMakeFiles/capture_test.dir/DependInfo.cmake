@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/capture_test.cpp" "tests/CMakeFiles/capture_test.dir/capture_test.cpp.o" "gcc" "tests/CMakeFiles/capture_test.dir/capture_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/radiomc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/radiomc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

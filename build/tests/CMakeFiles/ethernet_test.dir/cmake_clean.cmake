@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethernet_test.dir/ethernet_test.cpp.o"
+  "CMakeFiles/ethernet_test.dir/ethernet_test.cpp.o.d"
+  "ethernet_test"
+  "ethernet_test.pdb"
+  "ethernet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethernet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

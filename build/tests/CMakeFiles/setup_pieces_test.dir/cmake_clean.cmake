@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setup_pieces_test.dir/setup_pieces_test.cpp.o"
+  "CMakeFiles/setup_pieces_test.dir/setup_pieces_test.cpp.o.d"
+  "setup_pieces_test"
+  "setup_pieces_test.pdb"
+  "setup_pieces_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setup_pieces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

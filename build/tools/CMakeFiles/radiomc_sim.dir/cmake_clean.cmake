@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radiomc_sim.dir/radiomc_sim.cpp.o"
+  "CMakeFiles/radiomc_sim.dir/radiomc_sim.cpp.o.d"
+  "radiomc_sim"
+  "radiomc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radiomc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
