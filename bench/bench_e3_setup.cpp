@@ -53,6 +53,7 @@ int main() {
 
   Table t({"topology", "n", "D", "Delta", "attempts", "schedule", "work",
            "sched/bound", "work/bound"});
+  JsonEmitter json("E3", "setup slots ~ O((n + D log n) log Delta)");
   bool shape_ok = true;
   double min_ratio = 1e18, max_ratio = 0;
   for (auto& c : cases) {
@@ -76,6 +77,16 @@ int main() {
            num(std::uint64_t(c.g.max_degree())), num(attempts.mean(), 1),
            num(sched.mean(), 0), num(work.mean(), 0), num(r, 1),
            num(work.mean() / b, 1)});
+    json.row({{"topology", c.name},
+              {"n", c.g.num_nodes()},
+              {"diameter", d},
+              {"max_degree", c.g.max_degree()},
+              {"attempts_mean", attempts.mean()},
+              {"schedule_slots_mean", sched.mean()},
+              {"work_slots_mean", work.mean()},
+              {"bound", b},
+              {"schedule_over_bound", r},
+              {"work_over_bound", work.mean() / b}});
   }
   // "Flat" up to the budget constants: the largest/smallest normalized cost
   // should stay within a modest factor as n grows 8x.
@@ -83,5 +94,6 @@ int main() {
   verdict(shape_ok,
           "setup cost tracks (n + D log n) log Delta across an 8x n range "
           "(ratio spread < 12x; constants come from the epoch budgets)");
+  json.pass(shape_ok);
   return 0;
 }

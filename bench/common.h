@@ -1,14 +1,21 @@
 #pragma once
 
 // Shared experiment-harness helpers: fixed-width table printing (every
-// bench prints paper-claim vs measured columns) and seed-averaged runs.
+// bench prints paper-claim vs measured columns), seed-averaged runs, and a
+// machine-readable result emitter (BENCH_<id>.json) so sweeps can be
+// plotted or regression-tracked without scraping stdout.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/stats.h"
+#include "telemetry/json_writer.h"
 
 namespace radiomc::bench {
 
@@ -23,8 +30,11 @@ class Table {
       : cols_(std::move(columns)), width_(width) {
     for (const auto& c : cols_) std::printf("%*s", width_, c.c_str());
     std::printf("\n");
+    // Rule sized from the configured column width (one leading space of
+    // padding kept, like the header cells).
+    const std::string rule(width_ > 1 ? width_ - 1 : 1, '-');
     for (std::size_t i = 0; i < cols_.size(); ++i)
-      std::printf("%*s", width_, "------------");
+      std::printf("%*s", width_, rule.c_str());
     std::printf("\n");
   }
 
@@ -55,5 +65,101 @@ OnlineStats mean_over_seeds(int seeds, std::uint64_t base, F&& f) {
 inline void verdict(bool pass, const std::string& what) {
   std::printf("   [%s] %s\n", pass ? "SHAPE OK" : "MISMATCH", what.c_str());
 }
+
+/// One typed cell of a machine-readable result row. The constructors cover
+/// the types benches actually record; `{"k", k}` and `{"ratio", r}` both
+/// work in a braced row without casts.
+struct JsonField {
+  enum class Kind { kString, kDouble, kUint, kInt, kBool };
+  std::string key;
+  Kind kind;
+  std::string s;
+  double d = 0;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  bool b = false;
+
+  JsonField(std::string k, const char* v)
+      : key(std::move(k)), kind(Kind::kString), s(v) {}
+  JsonField(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kString), s(std::move(v)) {}
+  JsonField(std::string k, double v)
+      : key(std::move(k)), kind(Kind::kDouble), d(v) {}
+  JsonField(std::string k, std::uint64_t v)
+      : key(std::move(k)), kind(Kind::kUint), u(v) {}
+  JsonField(std::string k, std::uint32_t v)
+      : key(std::move(k)), kind(Kind::kUint), u(v) {}
+  JsonField(std::string k, std::int64_t v)
+      : key(std::move(k)), kind(Kind::kInt), i(v) {}
+  JsonField(std::string k, int v)
+      : key(std::move(k)), kind(Kind::kInt), i(v) {}
+  JsonField(std::string k, bool v)
+      : key(std::move(k)), kind(Kind::kBool), b(v) {}
+};
+
+/// Streams experiment rows into `BENCH_<id>.json`:
+///   {"schema":"radiomc.bench/v1","bench":"E4","claim":"...",
+///    "rows":[{...},...],"pass":true}
+/// The file lands in $RADIOMC_BENCH_JSON_DIR (default: the working
+/// directory); `write()` — also called by the destructor — closes the
+/// document and reports the path on stdout.
+class JsonEmitter {
+ public:
+  JsonEmitter(const std::string& id, const std::string& claim)
+      : id_(id), writer_(&buf_) {
+    writer_.begin_object();
+    writer_.member("schema", "radiomc.bench/v1");
+    writer_.member("bench", id);
+    writer_.member("claim", claim);
+    writer_.key("rows");
+    writer_.begin_array();
+  }
+  ~JsonEmitter() { write(); }
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  void row(std::initializer_list<JsonField> fields) {
+    writer_.begin_object();
+    for (const JsonField& f : fields) {
+      switch (f.kind) {
+        case JsonField::Kind::kString: writer_.member(f.key, f.s); break;
+        case JsonField::Kind::kDouble: writer_.member(f.key, f.d); break;
+        case JsonField::Kind::kUint: writer_.member(f.key, f.u); break;
+        case JsonField::Kind::kInt: writer_.member(f.key, f.i); break;
+        case JsonField::Kind::kBool: writer_.member(f.key, f.b); break;
+      }
+    }
+    writer_.end_object();
+  }
+
+  /// Records the bench's overall SHAPE OK / MISMATCH flag.
+  void pass(bool ok) { pass_ = ok; }
+
+  /// Finalizes and writes the file; idempotent.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    writer_.end_array();
+    writer_.member("pass", pass_);
+    writer_.end_object();
+    std::string dir = ".";
+    if (const char* env = std::getenv("RADIOMC_BENCH_JSON_DIR"))
+      if (*env != '\0') dir = env;
+    const std::string path = dir + "/BENCH_" + id_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    out << buf_ << '\n';
+    if (out.good())
+      std::printf("   json: %s\n", path.c_str());
+    else
+      std::fprintf(stderr, "   json: FAILED to write %s\n", path.c_str());
+  }
+
+ private:
+  std::string id_;
+  std::string buf_;
+  telemetry::JsonWriter writer_;
+  bool pass_ = true;
+  bool written_ = false;
+};
 
 }  // namespace radiomc::bench

@@ -84,6 +84,7 @@ BroadcastService::BroadcastService(const Graph& g, const BfsTree& tree,
   }
   for (auto& m : muxes_) ptrs.push_back(m.get());
   net_ = std::make_unique<RadioNetwork>(g, ncfg);
+  if (cfg.trace != nullptr) net_->set_trace(cfg.trace);
   net_->attach(std::move(ptrs));
 }
 
@@ -133,6 +134,23 @@ KBroadcastOutcome run_k_broadcast(const Graph& g, const BfsTree& tree,
   out.completed = svc.run_until_delivered(max_slots);
   out.slots = svc.now();
   out.root_resends = svc.distribution(tree.root).root_resends();
+
+  if (cfg.telemetry != nullptr) {
+    telemetry::Telemetry& tel = *cfg.telemetry;
+    const DistributionStation& root = svc.distribution(tree.root);
+    tel.timeline.record(
+        "distribution", "k_broadcast", 0, out.slots,
+        {{"k", static_cast<std::int64_t>(sources.size())},
+         {"completed", out.completed ? 1 : 0}});
+    tel.metrics.counter("distribution.broadcasts").inc(sources.size());
+    tel.metrics.counter("distribution.root_fresh_sent")
+        .inc(root.root_sent_fresh());
+    tel.metrics.counter("distribution.root_resends").inc(out.root_resends);
+    tel.metrics.counter("distribution.root_idle_rebroadcasts")
+        .inc(root.root_idle_rebroadcasts());
+    telemetry::publish_net_metrics(svc.metrics(), tel.metrics,
+                                   "distribution");
+  }
   return out;
 }
 

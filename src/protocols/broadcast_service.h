@@ -34,6 +34,12 @@ struct BroadcastServiceConfig {
   /// count is set by `mode` and any value here is overwritten.
   RadioNetwork::Config engine;
 
+  /// Optional observability, used by run_k_broadcast: a distribution span
+  /// with resend/idle-rebroadcast counters plus the engine totals.
+  TelemetryHub* telemetry = nullptr;
+  /// Optional physical-event sink installed on the service's network.
+  TraceSink* trace = nullptr;
+
   static BroadcastServiceConfig for_graph(const Graph& g) {
     BroadcastServiceConfig c;
     c.collection = CollectionConfig::for_graph(g);

@@ -182,6 +182,7 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
   for (auto& a : adapters) ptrs.push_back(&a);
 
   RadioNetwork net(g);
+  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   net.attach(std::move(ptrs));
 
   CollectionOutcome out;
@@ -194,16 +195,31 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
   // occupancy, matching Theorem 4.1's hypothesis ("a level containing
   // messages at the beginning of a phase").
   std::vector<bool> occupied_now(tree.depth + 1, false);
+  std::vector<std::uint64_t> depth_now(tree.depth + 1, 0);
   std::vector<std::vector<std::uint64_t>> occupied_list(tree.depth + 1);
   auto snapshot_occupancy = [&](std::uint64_t phase) {
     std::fill(occupied_now.begin(), occupied_now.end(), false);
+    std::fill(depth_now.begin(), depth_now.end(), 0);
     for (NodeId v = 0; v < n; ++v)
-      if (stations[v]->buffer_size() > 0) occupied_now[tree.level[v]] = true;
+      if (stations[v]->buffer_size() > 0) {
+        occupied_now[tree.level[v]] = true;
+        depth_now[tree.level[v]] += stations[v]->buffer_size();
+      }
     for (std::uint32_t l = 1; l <= tree.depth; ++l)
       if (occupied_now[l]) {
         ++out.occupied_phases[l];
         occupied_list[l].push_back(phase);
       }
+    if (cfg.telemetry != nullptr) {
+      // Start-of-phase queued messages per BFS level: the measured
+      // occupancy to set against model 4's tandem-queue prediction
+      // (src/queueing/), one histogram per level.
+      for (std::uint32_t l = 1; l <= tree.depth; ++l)
+        cfg.telemetry->metrics
+            .distribution("collection.queue_depth",
+                          {{"level", std::to_string(l)}})
+            .add(static_cast<std::int64_t>(depth_now[l]));
+    }
   };
 
   const CollectionStation* root = stations[tree.root].get();
@@ -230,6 +246,29 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
     const auto& occ = occupied_list[from_level];
     if (std::binary_search(occ.begin(), occ.end(), phase))
       ++out.advance_phases[from_level];
+  }
+
+  if (cfg.telemetry != nullptr) {
+    telemetry::Telemetry& tel = *cfg.telemetry;
+    tel.timeline.record(
+        "collection", "drain", 0, out.slots,
+        {{"k", static_cast<std::int64_t>(expected)},
+         {"phases", static_cast<std::int64_t>(out.phases)},
+         {"depth", static_cast<std::int64_t>(tree.depth)},
+         {"completed", out.completed ? 1 : 0}});
+    tel.metrics.counter("collection.messages_delivered")
+        .inc(out.deliveries.size());
+    tel.metrics.counter("collection.phases").inc(out.phases);
+    // Theorem 4.1's per-level event counts: phases a level was occupied at
+    // the start, and among those, phases it advanced a message upward.
+    for (std::uint32_t l = 1; l <= tree.depth; ++l) {
+      const telemetry::Labels lv = {{"level", std::to_string(l)}};
+      tel.metrics.counter("collection.occupied_phases", lv)
+          .inc(out.occupied_phases[l]);
+      tel.metrics.counter("collection.advance_phases", lv)
+          .inc(out.advance_phases[l]);
+    }
+    telemetry::publish_net_metrics(net.metrics(), tel.metrics, "collection");
   }
   return out;
 }

@@ -31,6 +31,7 @@
 #include "radio/schedule.h"
 #include "radio/station.h"
 #include "support/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace radiomc {
 
@@ -45,6 +46,13 @@ struct CollectionConfig {
   /// the paper's "more complicated, less reliable and slower protocol".
   /// Off by default: the main model needs no duplicate state.
   bool dedup_guard = false;
+
+  /// Optional observability, used by run_collection: phase spans, per-level
+  /// advance counters and queue-depth histograms, engine counters. Not part
+  /// of the radio model — the protocol never reads it.
+  TelemetryHub* telemetry = nullptr;
+  /// Optional physical-event sink installed on the driver's network.
+  TraceSink* trace = nullptr;
 
   static CollectionConfig for_graph(const Graph& g) {
     CollectionConfig c;

@@ -232,6 +232,7 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   RadioNetwork::Config ncfg;
   ncfg.num_channels = 2;
   RadioNetwork net(g, ncfg);
+  if (cfg.trace != nullptr) net.set_trace(cfg.trace);
   net.attach(std::move(ptrs));
 
   P2pOutcome out;
@@ -271,6 +272,24 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   out.completed = delivered >= requests.size();
   out.slots = net.now();
   out.delivered = delivered;
+
+  if (cfg.telemetry != nullptr) {
+    telemetry::Telemetry& tel = *cfg.telemetry;
+    tel.timeline.record(
+        "point_to_point", "run", 0, out.slots,
+        {{"k", static_cast<std::int64_t>(requests.size())},
+         {"delivered", static_cast<std::int64_t>(delivered)},
+         {"completed", out.completed ? 1 : 0}});
+    tel.metrics.counter("p2p.requests").inc(requests.size());
+    tel.metrics.counter("p2p.delivered").inc(delivered);
+    telemetry::Distribution& lat = tel.metrics.distribution(
+        "p2p.delivery_slot", {}, telemetry::Scale::kLog2);
+    for (SlotTime s : out.delivery_slot)
+      if (s != static_cast<SlotTime>(-1))
+        lat.add(static_cast<std::int64_t>(s));
+    telemetry::publish_net_metrics(net.metrics(), tel.metrics,
+                                   "point_to_point");
+  }
   return out;
 }
 

@@ -29,11 +29,18 @@
 #include "radio/schedule.h"
 #include "radio/station.h"
 #include "support/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace radiomc {
 
 struct P2pConfig {
   SlotStructure slots;  ///< ack + mod-3 on by default
+
+  /// Optional observability, used by run_point_to_point: a run span with
+  /// request counts, delivery-latency histogram, engine counters.
+  TelemetryHub* telemetry = nullptr;
+  /// Optional physical-event sink installed on the driver's network.
+  TraceSink* trace = nullptr;
 
   static P2pConfig for_graph(const Graph& g) {
     P2pConfig c;

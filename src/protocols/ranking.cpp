@@ -12,7 +12,8 @@ namespace radiomc {
 
 RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
                            const std::vector<std::uint64_t>& app_ids,
-                           std::uint64_t seed, SlotTime max_slots) {
+                           std::uint64_t seed, SlotTime max_slots,
+                           TelemetryHub* telemetry) {
   const NodeId n = g.num_nodes();
   require(app_ids.size() == n, "run_ranking: one app id per node");
   require(prep.routing.size() == n, "run_ranking: bad preparation");
@@ -48,9 +49,15 @@ RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
     initial.push_back(m);
   }
   CollectionConfig ccfg = CollectionConfig::for_graph(g);
+  ccfg.telemetry = telemetry;
   const CollectionOutcome collected =
       run_collection(g, tree, initial, ccfg, seed, max_slots);
   out.collect_slots = collected.slots;
+  if (telemetry != nullptr)
+    telemetry->timeline.record(
+        "ranking", "collect", 0, out.collect_slots,
+        {{"n", static_cast<std::int64_t>(n)},
+         {"completed", collected.completed ? 1 : 0}});
   if (!collected.completed) return out;
 
   // Root-side computation: sort ids, assign ranks 1..n.
@@ -107,6 +114,15 @@ RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
   };
   while (delivered() < expected_downs && net.now() < max_slots) net.step();
   out.deliver_slots = net.now();
+  if (telemetry != nullptr) {
+    telemetry->timeline.record(
+        "ranking", "deliver", out.collect_slots,
+        out.collect_slots + out.deliver_slots,
+        {{"ranks", static_cast<std::int64_t>(expected_downs)},
+         {"completed", delivered() >= expected_downs ? 1 : 0}});
+    telemetry::publish_net_metrics(net.metrics(), telemetry->metrics,
+                                   "ranking_deliver");
+  }
   if (delivered() < expected_downs) return out;
 
   for (NodeId v = 0; v < n; ++v)

@@ -16,6 +16,7 @@
 #include "protocols/collection.h"
 #include "protocols/dfs_numbering.h"
 #include "protocols/point_to_point.h"
+#include "telemetry/telemetry.h"
 
 namespace radiomc {
 
@@ -31,9 +32,12 @@ struct RankingOutcome {
 /// Runs the full ranking protocol. `app_ids[v]` is node v's application id
 /// (must be distinct). Uses an already-prepared tree (setup measured
 /// separately, as in §7: "not including the setup costs of Section 2").
+/// `telemetry`, when given, receives "ranking" collect/deliver spans (the
+/// inner collection additionally reports through the same hub).
 RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
                            const std::vector<std::uint64_t>& app_ids,
                            std::uint64_t seed,
-                           SlotTime max_slots = 200'000'000);
+                           SlotTime max_slots = 200'000'000,
+                           TelemetryHub* telemetry = nullptr);
 
 }  // namespace radiomc

@@ -297,7 +297,35 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
   RadioNetwork::Config ncfg;
   ncfg.num_channels = 2;
   RadioNetwork net(g, ncfg);
+  if (tuning.trace != nullptr) net.set_trace(tuning.trace);
   net.attach(std::move(ptrs));
+
+  // Epoch spans fall on the globally known schedule boundaries, so the
+  // timeline needs no cooperation from the stations.
+  auto record_attempt_spans = [&](std::uint32_t attempt, SlotTime base,
+                                  const SetupSchedule& sched) {
+    if (tuning.telemetry == nullptr) return;
+    telemetry::PhaseTimeline& tl = tuning.telemetry->timeline;
+    const std::pair<const char*, SlotTime> epochs[] = {
+        {"leader_election", sched.le}, {"bfs_verify", sched.bv},
+        {"dfs_graph", sched.dfs1},     {"dfs_tree", sched.dfs2},
+        {"final_verify", sched.fv},    {"completion_flood", sched.gl}};
+    SlotTime t = base;
+    for (const auto& [name, len] : epochs) {
+      tl.record("setup", name, t, t + len,
+                {{"attempt", static_cast<std::int64_t>(attempt)}});
+      t += len;
+    }
+  };
+  auto publish_totals = [&](const SetupOutcome& o) {
+    if (tuning.telemetry == nullptr) return;
+    telemetry::MetricsRegistry& reg = tuning.telemetry->metrics;
+    reg.counter("setup.attempts").inc(o.attempts);
+    reg.counter("setup.verification_restarts")
+        .inc(o.attempts > 0 ? o.attempts - 1 : 0);
+    reg.counter(o.ok ? "setup.completed" : "setup.failed").inc();
+    telemetry::publish_net_metrics(net.metrics(), reg, "setup");
+  };
 
   SetupOutcome out;
   SlotTime attempt_start = 0;
@@ -305,6 +333,7 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
     const SetupSchedule sched = setup_schedule(n, dl, tuning, attempt);
     const SlotTime attempt_end = attempt_start + sched.attempt_length();
     while (net.now() < attempt_end) net.step();
+    record_attempt_spans(attempt, attempt_start, sched);
     attempt_start = attempt_end;
     out.attempts = attempt + 1;
 
@@ -339,9 +368,11 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
       out.labels.number[v] = out.routing[v].number;
       out.labels.max_desc[v] = out.routing[v].max_desc;
     }
+    publish_totals(out);
     return out;
   }
   out.slots = net.now();
+  publish_totals(out);
   return out;
 }
 

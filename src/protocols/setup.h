@@ -70,6 +70,13 @@ struct SetupTuning {
   /// the next attempt, so the setup stays always-correct even with tiny
   /// id spaces.
   std::uint32_t random_id_bits = 0;
+
+  /// Optional observability: run_setup records one span per epoch per
+  /// attempt (A..G, on the globally known schedule boundaries) plus
+  /// attempt/restart counters and the engine totals. Null = off.
+  TelemetryHub* telemetry = nullptr;
+  /// Optional physical-event sink installed on the setup network.
+  TraceSink* trace = nullptr;
 };
 
 /// The globally known epoch schedule of one setup attempt.

@@ -60,10 +60,14 @@ class EventRecorder final : public TraceSink {
     SlotTime slot;
     NodeId node;
     ChannelId channel;
-    MsgKind msg_kind;    // valid for transmit/deliver
-    NodeId origin;       // valid for transmit/deliver
-    std::uint32_t seq;   // valid for transmit/deliver
-    std::uint32_t tx_neighbors;  // valid for collision
+    /// True iff the event carries a message (transmit/deliver). Collision
+    /// events have no message — the receiver hears only noise — so
+    /// msg_kind/origin/seq are then deliberately unusable sentinels.
+    bool has_msg;
+    MsgKind msg_kind;    // valid iff has_msg
+    NodeId origin;       // valid iff has_msg
+    std::uint32_t seq;   // valid iff has_msg
+    std::uint32_t tx_neighbors;  // valid iff kind == kCollision (then >= 2)
   };
 
   explicit EventRecorder(std::size_t capacity = 1 << 20)
@@ -71,15 +75,16 @@ class EventRecorder final : public TraceSink {
 
   void on_transmit(SlotTime t, NodeId sender, ChannelId ch,
                    const Message& m) override {
-    push({Kind::kTransmit, t, sender, ch, m.kind, m.origin, m.seq, 0});
+    push({Kind::kTransmit, t, sender, ch, true, m.kind, m.origin, m.seq, 0});
   }
   void on_deliver(SlotTime t, NodeId receiver, ChannelId ch,
                   const Message& m) override {
-    push({Kind::kDeliver, t, receiver, ch, m.kind, m.origin, m.seq, 0});
+    push({Kind::kDeliver, t, receiver, ch, true, m.kind, m.origin, m.seq, 0});
   }
   void on_collision(SlotTime t, NodeId receiver, ChannelId ch,
                     std::uint32_t k) override {
-    push({Kind::kCollision, t, receiver, ch, MsgKind::kData, kNoNode, 0, k});
+    push({Kind::kCollision, t, receiver, ch, false, MsgKind::kData, kNoNode,
+          0, k});
   }
 
   const std::vector<Event>& events() const noexcept { return events_; }

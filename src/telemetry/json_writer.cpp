@@ -1,0 +1,118 @@
+#include "telemetry/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace radiomc::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!stack_.empty()) {
+    if (stack_.back()) *out_ += ',';
+    stack_.back() = true;
+  }
+  wrote_any_ = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  *out_ += '{';
+  stack_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  stack_.pop_back();
+  *out_ += '}';
+  wrote_any_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  *out_ += '[';
+  stack_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  stack_.pop_back();
+  *out_ += ']';
+  wrote_any_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!stack_.empty()) {
+    if (stack_.back()) *out_ += ',';
+    stack_.back() = true;
+  }
+  *out_ += '"';
+  *out_ += json_escape(k);
+  *out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  *out_ += '"';
+  *out_ += json_escape(v);
+  *out_ += '"';
+}
+
+void JsonWriter::value(bool v) {
+  comma_for_value();
+  *out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    *out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  *out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  *out_ += std::to_string(v);
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  *out_ += "null";
+}
+
+}  // namespace radiomc::telemetry

@@ -1,0 +1,61 @@
+#pragma once
+
+// Minimal streaming JSON writer shared by the telemetry layer (metrics
+// snapshots, phase timelines, the JSONL trace sink) and the bench harness'
+// machine-readable result files. Emits compact, valid JSON: strings are
+// escaped per RFC 8259, non-finite doubles degrade to null, and commas are
+// managed by a small container stack so call sites never hand-place them.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace radiomc::telemetry {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Appends output to `*out`, which must outlive the writer.
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by a value or container open.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void member(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once every opened container has been closed.
+  bool complete() const noexcept { return stack_.empty() && wrote_any_; }
+
+ private:
+  void comma_for_value();
+
+  std::string* out_;
+  // One frame per open container: whether the next element needs a comma.
+  std::vector<bool> stack_;
+  bool pending_key_ = false;
+  bool wrote_any_ = false;
+};
+
+}  // namespace radiomc::telemetry

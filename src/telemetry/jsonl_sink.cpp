@@ -1,0 +1,113 @@
+#include "telemetry/jsonl_sink.h"
+
+#include "telemetry/json_writer.h"
+
+namespace radiomc::telemetry {
+
+namespace {
+
+const char* kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kData: return "data";
+    case MsgKind::kAck: return "ack";
+    case MsgKind::kLeader: return "leader";
+    case MsgKind::kBfsAnnounce: return "bfs_announce";
+    case MsgKind::kDfsToken: return "dfs_token";
+    case MsgKind::kBcastData: return "bcast_data";
+    case MsgKind::kNack: return "nack";
+    case MsgKind::kSetupReport: return "setup_report";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out, Options opt)
+    : out_(&out), opt_(opt) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path, Options opt)
+    : owned_(std::make_unique<std::ofstream>(path)),
+      out_(owned_.get()),
+      opt_(opt) {}
+
+JsonlTraceSink::~JsonlTraceSink() { finish(); }
+
+void JsonlTraceSink::roll_window(SlotTime t) {
+  if (opt_.aggregate_every == 0) return;
+  const SlotTime start = t - t % opt_.aggregate_every;
+  if (win_any_ && start != win_start_) emit_window();
+  if (!win_any_ || start != win_start_) {
+    win_start_ = start;
+    win_any_ = true;
+    win_tx_ = win_rx_ = win_coll_ = 0;
+  }
+}
+
+void JsonlTraceSink::emit_window() {
+  std::string line;
+  JsonWriter w(&line);
+  w.begin_object();
+  w.member("ev", "agg");
+  w.member("t0", win_start_);
+  w.member("t1", win_start_ + opt_.aggregate_every);
+  w.member("tx", win_tx_);
+  w.member("rx", win_rx_);
+  w.member("coll", win_coll_);
+  w.end_object();
+  *out_ << line << '\n';
+  ++lines_;
+  win_any_ = false;
+}
+
+void JsonlTraceSink::event_line(const char* ev, SlotTime t, NodeId node,
+                                ChannelId ch, const Message* m,
+                                std::uint32_t tx_neighbors) {
+  if (!opt_.events) return;
+  std::string line;
+  JsonWriter w(&line);
+  w.begin_object();
+  w.member("ev", ev);
+  w.member("t", t);
+  w.member("node", static_cast<std::uint64_t>(node));
+  w.member("ch", static_cast<std::uint64_t>(ch));
+  if (m != nullptr) {
+    w.member("kind", kind_name(m->kind));
+    w.member("origin", static_cast<std::uint64_t>(m->origin));
+    w.member("seq", static_cast<std::uint64_t>(m->seq));
+  } else {
+    w.member("txn", static_cast<std::uint64_t>(tx_neighbors));
+  }
+  w.end_object();
+  *out_ << line << '\n';
+  ++lines_;
+}
+
+void JsonlTraceSink::on_transmit(SlotTime t, NodeId sender, ChannelId ch,
+                                 const Message& m) {
+  roll_window(t);
+  ++win_tx_;
+  event_line("tx", t, sender, ch, &m, 0);
+}
+
+void JsonlTraceSink::on_deliver(SlotTime t, NodeId receiver, ChannelId ch,
+                                const Message& m) {
+  roll_window(t);
+  ++win_rx_;
+  event_line("rx", t, receiver, ch, &m, 0);
+}
+
+void JsonlTraceSink::on_collision(SlotTime t, NodeId receiver, ChannelId ch,
+                                  std::uint32_t tx_neighbors) {
+  roll_window(t);
+  ++win_coll_;
+  event_line("coll", t, receiver, ch, nullptr, tx_neighbors);
+}
+
+void JsonlTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (opt_.aggregate_every != 0 && win_any_) emit_window();
+  out_->flush();
+}
+
+}  // namespace radiomc::telemetry

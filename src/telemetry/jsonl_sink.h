@@ -1,0 +1,80 @@
+#pragma once
+
+// JsonlTraceSink: a TraceSink that streams physical events — and,
+// optionally, per-slot-window aggregates — as one JSON object per line
+// (JSONL). The format is grep/jq-friendly and diffable, which makes slot
+// schedules inspectable the way the paper's slot-level arguments (§2.2
+// gating, §3 ack subslots) are stated.
+//
+// Event lines:
+//   {"ev":"tx","t":5,"node":3,"ch":0,"kind":"data","origin":3,"seq":0}
+//   {"ev":"rx","t":5,"node":2,"ch":0,"kind":"data","origin":3,"seq":0}
+//   {"ev":"coll","t":6,"node":1,"ch":0,"txn":2}
+// Aggregate lines (every `aggregate_every` slots, when enabled):
+//   {"ev":"agg","t0":0,"t1":64,"tx":12,"rx":9,"coll":3}
+//
+// Like every TraceSink it is engine-side scaffolding: stations cannot see
+// it and protocols may not base decisions on it.
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "radio/trace.h"
+
+namespace radiomc::telemetry {
+
+struct JsonlOptions {
+  bool events = true;  ///< per-event lines
+  /// Window length of "agg" lines; 0 disables aggregates.
+  std::uint64_t aggregate_every = 0;
+};
+
+class JsonlTraceSink final : public TraceSink {
+ public:
+  using Options = JsonlOptions;
+
+  /// Streams to `out` (borrowed; must outlive the sink).
+  explicit JsonlTraceSink(std::ostream& out, Options opt = {});
+  /// Opens `path` for writing and owns the stream. Check `ok()`.
+  explicit JsonlTraceSink(const std::string& path, Options opt = {});
+  ~JsonlTraceSink() override;
+
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+
+  void on_transmit(SlotTime t, NodeId sender, ChannelId ch,
+                   const Message& m) override;
+  void on_deliver(SlotTime t, NodeId receiver, ChannelId ch,
+                  const Message& m) override;
+  void on_collision(SlotTime t, NodeId receiver, ChannelId ch,
+                    std::uint32_t tx_neighbors) override;
+
+  /// Emits the trailing partial aggregate window (if any) and flushes the
+  /// stream. Called by the destructor; call earlier to read mid-run.
+  void finish();
+
+  bool ok() const noexcept { return out_ != nullptr && out_->good(); }
+  std::uint64_t lines_written() const noexcept { return lines_; }
+
+ private:
+  void event_line(const char* ev, SlotTime t, NodeId node, ChannelId ch,
+                  const Message* m, std::uint32_t tx_neighbors);
+  void roll_window(SlotTime t);
+  void emit_window();
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  Options opt_;
+  std::uint64_t lines_ = 0;
+  bool finished_ = false;
+
+  // Current aggregate window [win_start_, win_start_ + aggregate_every).
+  SlotTime win_start_ = 0;
+  bool win_any_ = false;
+  std::uint64_t win_tx_ = 0, win_rx_ = 0, win_coll_ = 0;
+};
+
+}  // namespace radiomc::telemetry

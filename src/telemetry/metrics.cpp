@@ -1,0 +1,173 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "telemetry/json_writer.h"
+
+namespace radiomc::telemetry {
+
+namespace {
+
+std::int64_t log2_bucket(std::int64_t v) {
+  if (v <= 0) return -1;
+  std::int64_t b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void write_labels(JsonWriter& w, const Labels& labels) {
+  w.key("labels");
+  w.begin_object();
+  for (const auto& [k, v] : labels) w.member(k, std::string_view(v));
+  w.end_object();
+}
+
+}  // namespace
+
+void Distribution::add(std::int64_t v, std::uint64_t weight) {
+  for (std::uint64_t i = 0; i < weight; ++i)
+    stats_.add(static_cast<double>(v));
+  hist_.add(scale_ == Scale::kLog2 ? log2_bucket(v) : v, weight);
+}
+
+std::string MetricsRegistry::series_key(std::string_view name,
+                                        const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = series_key(name, labels);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(key, Series<Counter>{std::string(name),
+                                           std::move(labels),
+                                           std::make_unique<Counter>()})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = series_key(name, labels);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(key, Series<Gauge>{std::string(name), std::move(labels),
+                                         std::make_unique<Gauge>()})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Distribution& MetricsRegistry::distribution(std::string_view name,
+                                            Labels labels, Scale scale) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = series_key(name, labels);
+  auto it = distributions_.find(key);
+  if (it == distributions_.end()) {
+    it = distributions_
+             .emplace(key, Series<Distribution>{
+                               std::string(name), std::move(labels),
+                               std::make_unique<Distribution>(scale)})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [key, s] : counters_)
+    snap.counters.push_back({s.name, s.labels, s.metric->value()});
+  for (const auto& [key, s] : gauges_)
+    snap.gauges.push_back({s.name, s.labels, s.metric->value()});
+  for (const auto& [key, s] : distributions_) {
+    MetricsSnapshot::DistributionEntry e;
+    e.name = s.name;
+    e.labels = s.labels;
+    e.scale = s.metric->scale();
+    const OnlineStats& st = s.metric->stats();
+    e.count = st.count();
+    e.mean = st.mean();
+    e.stddev = st.stddev();
+    e.min = st.min();
+    e.max = st.max();
+    e.sum = st.sum();
+    for (const auto& [bucket, weight] : s.metric->histogram().buckets())
+      e.buckets.emplace_back(bucket, weight);
+    snap.distributions.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  const MetricsSnapshot snap = snapshot();
+  w.begin_object();
+  w.key("counters");
+  w.begin_array();
+  for (const auto& c : snap.counters) {
+    w.begin_object();
+    w.member("name", std::string_view(c.name));
+    write_labels(w, c.labels);
+    w.member("value", c.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gauges");
+  w.begin_array();
+  for (const auto& g : snap.gauges) {
+    w.begin_object();
+    w.member("name", std::string_view(g.name));
+    write_labels(w, g.labels);
+    w.member("value", g.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("distributions");
+  w.begin_array();
+  for (const auto& d : snap.distributions) {
+    w.begin_object();
+    w.member("name", std::string_view(d.name));
+    write_labels(w, d.labels);
+    w.member("scale", d.scale == Scale::kLog2 ? "log2" : "linear");
+    w.member("count", static_cast<std::uint64_t>(d.count));
+    w.member("mean", d.mean);
+    w.member("stddev", d.stddev);
+    w.member("min", d.min);
+    w.member("max", d.max);
+    w.member("sum", d.sum);
+    w.key("buckets");
+    w.begin_array();
+    for (const auto& [bucket, weight] : d.buckets) {
+      w.begin_array();
+      w.value(bucket);
+      w.value(weight);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  JsonWriter w(&out);
+  write_json(w);
+  return out;
+}
+
+}  // namespace radiomc::telemetry

@@ -1,0 +1,146 @@
+#pragma once
+
+// The metrics registry: named, labeled counters, gauges and value
+// distributions with a stable snapshot and JSON serialization.
+//
+// The paper's claims are quantitative (Thm 4.1's per-phase advance
+// probability, the Hsu–Burke departure law, the O((n + D log n) log Delta)
+// setup bound), so every run should leave structured numbers behind, not
+// text tables. Protocols and drivers publish into a registry owned by the
+// caller (the CLI, a bench, a test); serialization is pull-based — taking a
+// snapshot never perturbs the run.
+//
+// Distributions are built on the existing accumulators in support/stats.h:
+// OnlineStats for moments plus a Histogram of either exact integer buckets
+// (queue depths, small counts) or log2 buckets (slot counts spanning orders
+// of magnitude).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace radiomc::telemetry {
+
+class JsonWriter;
+
+/// Metric labels, e.g. {{"level", "3"}, {"protocol", "collection"}}.
+/// Stored sorted by key; (name, labels) identifies a time series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Bucketing rule for Distribution histograms.
+enum class Scale : std::uint8_t {
+  kLinear,  ///< exact integer buckets (small discrete supports)
+  kLog2,    ///< bucket b holds values in [2^b, 2^(b+1)); b = -1 for v <= 0
+};
+
+/// Moments (OnlineStats) plus a bucketed Histogram of the same samples.
+class Distribution {
+ public:
+  explicit Distribution(Scale scale = Scale::kLinear) : scale_(scale) {}
+
+  void add(std::int64_t v, std::uint64_t weight = 1);
+
+  Scale scale() const noexcept { return scale_; }
+  const OnlineStats& stats() const noexcept { return stats_; }
+  /// Buckets keyed per `scale()`: the value itself (linear) or the log2
+  /// bucket index (log2).
+  const Histogram& histogram() const noexcept { return hist_; }
+
+ private:
+  Scale scale_;
+  OnlineStats stats_;
+  Histogram hist_;
+};
+
+/// Immutable view of a registry at one instant.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    Labels labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    Labels labels;
+    double value = 0.0;
+  };
+  struct DistributionEntry {
+    std::string name;
+    Labels labels;
+    Scale scale = Scale::kLinear;
+    std::size_t count = 0;
+    double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0, sum = 0.0;
+    /// (bucket key, weight), ascending by key.
+    std::vector<std::pair<std::int64_t, std::uint64_t>> buckets;
+  };
+
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<DistributionEntry> distributions;
+};
+
+class MetricsRegistry {
+ public:
+  /// Lookup-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Distribution& distribution(std::string_view name, Labels labels = {},
+                             Scale scale = Scale::kLinear);
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + distributions_.size();
+  }
+
+  /// Deterministic order: sorted by (name, labels).
+  MetricsSnapshot snapshot() const;
+
+  /// {"counters":[...],"gauges":[...],"distributions":[...]}
+  std::string to_json() const;
+  /// Embeds the same object into an enclosing document.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  template <typename T>
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+  // Key = name + '\x1f' + sorted "k=v" pairs; '\x1f' cannot appear in
+  // sane metric names, making the key injective.
+  template <typename T>
+  using SeriesMap = std::map<std::string, Series<T>>;
+
+  static std::string series_key(std::string_view name, const Labels& labels);
+
+  SeriesMap<Counter> counters_;
+  SeriesMap<Gauge> gauges_;
+  SeriesMap<Distribution> distributions_;
+};
+
+}  // namespace radiomc::telemetry

@@ -1,0 +1,65 @@
+#pragma once
+
+// The phase timeline: protocols report named spans of slot time so a run
+// decomposes the way the paper's analysis does — leader-election epochs,
+// BFS levels, verification restarts, collection drains — instead of one
+// opaque total. Spans carry small integer attributes (attempt index, level,
+// message count) and may nest or overlap freely; the timeline is an append
+// log ordered by recording time, not an interval tree.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "radio/message.h"
+
+namespace radiomc::telemetry {
+
+class JsonWriter;
+
+struct PhaseSpan {
+  std::string protocol;  ///< e.g. "setup", "collection", "ranking"
+  std::string name;      ///< e.g. "leader_election", "drain"
+  SlotTime begin = 0;    ///< first slot of the span
+  SlotTime end = 0;      ///< one past the last slot
+  std::vector<std::pair<std::string, std::int64_t>> attrs;
+
+  SlotTime length() const noexcept { return end - begin; }
+};
+
+class PhaseTimeline {
+ public:
+  /// Appends a completed span.
+  void record(PhaseSpan span) { spans_.push_back(std::move(span)); }
+  void record(std::string_view protocol, std::string_view name,
+              SlotTime begin, SlotTime end,
+              std::vector<std::pair<std::string, std::int64_t>> attrs = {}) {
+    record(PhaseSpan{std::string(protocol), std::string(name), begin, end,
+                     std::move(attrs)});
+  }
+
+  /// Opens a span to be closed later; returns its index. Useful when the
+  /// end slot is only known after the fact (e.g. a drain loop).
+  std::size_t open(std::string_view protocol, std::string_view name,
+                   SlotTime begin) {
+    spans_.push_back(
+        PhaseSpan{std::string(protocol), std::string(name), begin, begin, {}});
+    return spans_.size() - 1;
+  }
+  void close(std::size_t index, SlotTime end) { spans_[index].end = end; }
+  PhaseSpan& at(std::size_t index) { return spans_[index]; }
+
+  const std::vector<PhaseSpan>& spans() const noexcept { return spans_; }
+  bool empty() const noexcept { return spans_.empty(); }
+
+  /// JSON array of span objects, in recording order.
+  std::string to_json() const;
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::vector<PhaseSpan> spans_;
+};
+
+}  // namespace radiomc::telemetry

@@ -134,7 +134,42 @@ TEST(Trace, EventRecorderOrderingAndContent) {
   EXPECT_EQ(rec.events()[1].kind, EventRecorder::Kind::kDeliver);
   EXPECT_EQ(rec.events()[1].node, 1u);
   EXPECT_EQ(rec.events()[2].slot, 1u);
+  for (const auto& e : rec.events()) EXPECT_TRUE(e.has_msg);
   EXPECT_FALSE(rec.truncated());
+}
+
+TEST(Trace, CollisionEventsCarryNoMessage) {
+  // Nodes 0 and 2 transmit in the same slot; their common neighbor 1 hears
+  // a collision. The recorded event must be explicitly message-free
+  // (has_msg == false) rather than stuffed with placeholder fields, and
+  // must carry the transmitter count instead.
+  const Graph g = gen::path(3);
+  std::deque<RandomTalker> st(3);
+  st[0].schedule = {0, 0};
+  st[2].schedule = {0, -1};
+  std::vector<Station*> ptrs{&st[0], &st[1], &st[2]};
+  EventRecorder rec;
+  RadioNetwork net(g);
+  net.set_trace(&rec);
+  net.attach(std::move(ptrs));
+  net.run(2);
+
+  std::size_t collisions = 0;
+  for (const auto& e : rec.events()) {
+    if (e.kind == EventRecorder::Kind::kCollision) {
+      ++collisions;
+      EXPECT_FALSE(e.has_msg);
+      EXPECT_EQ(e.origin, kNoNode);
+      EXPECT_GE(e.tx_neighbors, 2u);
+      EXPECT_EQ(e.node, 1u);  // only node 1 has two transmitting neighbors
+    } else {
+      EXPECT_TRUE(e.has_msg);
+      EXPECT_EQ(e.tx_neighbors, 0u);
+    }
+  }
+  EXPECT_EQ(collisions, 1u);  // slot 0; in slot 1 only node 0 transmits
+  EXPECT_TRUE(st[1].heard.empty() ||
+              std::get<0>(st[1].heard.front()) == 1u);
 }
 
 TEST(Trace, RecorderCapacityBound) {

@@ -11,10 +11,17 @@
 //
 // Every command prints a compact human-readable report; exit code 0 iff
 // the run completed. Seeds make everything reproducible.
+//
+// Telemetry (all commands):
+//   --metrics-out FILE   write a JSON document with engine counters, phase
+//                        spans and per-level histograms after the run
+//   --trace-out FILE     stream physical events as JSONL during the run
+//   --trace-agg N        add per-N-slot aggregate lines to the trace
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,6 +41,8 @@
 #include "protocols/tree.h"
 #include "support/rng.h"
 #include "support/util.h"
+#include "telemetry/jsonl_sink.h"
+#include "telemetry/telemetry.h"
 
 using namespace radiomc;
 
@@ -86,17 +95,66 @@ int usage() {
       "  ethernet   virtual bus + backoff MAC (§1.3) [--frames F]\n"
       "\n"
       "common options: --seed S (default 1)\n"
+      "                --metrics-out FILE  (JSON metrics + phase timeline)\n"
+      "                --trace-out FILE    (JSONL physical-event trace)\n"
+      "                --trace-agg N       (per-N-slot aggregate lines)\n"
       "topology spec: %s\n",
       gen::spec_grammar().c_str());
   return 2;
 }
+
+/// Per-command observability: one Telemetry hub shared by setup and the
+/// command's main protocol run, plus an optional JSONL trace sink.
+struct Obs {
+  telemetry::Telemetry tel;
+  std::unique_ptr<telemetry::JsonlTraceSink> sink;
+  std::string metrics_path;
+
+  static Obs from_args(const Args& a) {
+    Obs o;
+    o.metrics_path = a.get("metrics-out", "");
+    const std::string trace_path = a.get("trace-out", "");
+    if (!trace_path.empty()) {
+      telemetry::JsonlOptions opt;
+      opt.aggregate_every = a.get_u64("trace-agg", 0);
+      o.sink =
+          std::make_unique<telemetry::JsonlTraceSink>(trace_path, opt);
+      require(o.sink->ok(), "cannot open --trace-out file " + trace_path);
+    }
+    return o;
+  }
+
+  TraceSink* trace() { return sink.get(); }
+
+  /// Flushes the trace and writes the metrics document; `rc` passes
+  /// through so commands can end with `return obs.finish(rc);`.
+  int finish(int rc) {
+    if (sink) {
+      sink->finish();
+      std::printf("  trace: %llu JSONL lines\n",
+                  static_cast<unsigned long long>(sink->lines_written()));
+    }
+    if (!metrics_path.empty()) {
+      require(tel.write_json_file(metrics_path),
+              "cannot write --metrics-out file " + metrics_path);
+      std::printf("  metrics: %s (%zu series, %zu spans)\n",
+                  metrics_path.c_str(), tel.metrics.size(),
+                  tel.timeline.spans().size());
+    }
+    return rc;
+  }
+};
 
 struct World {
   Graph g;
   SetupOutcome setup;
 };
 
-World make_world(const Args& a, bool need_setup) {
+/// `trace_setup`: attach the physical-event sink to the setup run itself
+/// (the `setup` command); other commands trace only their own protocol so
+/// slot timestamps in the trace refer to one network clock.
+World make_world(const Args& a, bool need_setup, Obs* obs = nullptr,
+                 bool trace_setup = false) {
   Rng rng(a.get_u64("seed", 1));
   World w;
   w.g = gen::from_spec(a.get("topology", ""), rng);
@@ -104,6 +162,10 @@ World make_world(const Args& a, bool need_setup) {
     SetupTuning tuning;
     tuning.random_id_bits =
         static_cast<std::uint32_t>(a.get_u64("anon", 0));
+    if (obs != nullptr) {
+      tuning.telemetry = &obs->tel;
+      if (trace_setup) tuning.trace = obs->trace();
+    }
     w.setup = run_setup(w.g, rng.next(), tuning);
     require(w.setup.ok, "setup failed");
   }
@@ -131,11 +193,18 @@ int cmd_topo(const Args& a) {
   std::printf("  Delta    = %u\n", g.max_degree());
   std::printf("  diameter = %u\n", diameter(g));
   std::printf("  decay_len= %u\n", decay_length(g.max_degree()));
-  return 0;
+  Obs obs = Obs::from_args(a);
+  obs.tel.metrics.gauge("topo.n").set(g.num_nodes());
+  obs.tel.metrics.gauge("topo.edges").set(static_cast<double>(g.num_edges()));
+  obs.tel.metrics.gauge("topo.max_degree").set(g.max_degree());
+  obs.tel.metrics.gauge("topo.diameter").set(diameter(g));
+  obs.tel.metrics.gauge("topo.decay_len").set(decay_length(g.max_degree()));
+  return obs.finish(0);
 }
 
 int cmd_steady(const Args& a) {
-  World w = make_world(a, true);
+  Obs obs = Obs::from_args(a);
+  World w = make_world(a, true, &obs);
   Rng rng(a.get_u64("seed", 1) ^ 0xB5);
   const double mu = queueing::mu_decay();
   const double lambda =
@@ -143,6 +212,15 @@ int cmd_steady(const Args& a) {
   const auto out = run_collection_steady_state(
       w.g, w.setup.tree, lambda, a.get_u64("phases", 20000),
       a.get_u64("warmup", 2000), rng.next());
+  obs.tel.timeline.record(
+      "steady_state", "phases", 0, out.phases,  // span unit: phases
+      {{"arrivals", static_cast<std::int64_t>(out.arrivals)},
+       {"delivered", static_cast<std::int64_t>(out.delivered)}});
+  obs.tel.metrics.counter("steady.arrivals").inc(out.arrivals);
+  obs.tel.metrics.counter("steady.delivered").inc(out.delivered);
+  obs.tel.metrics.gauge("steady.mean_population").set(out.population.mean());
+  obs.tel.metrics.gauge("steady.mean_sojourn_phases")
+      .set(out.sojourn_phases.mean());
   std::printf("open-system collection at lambda = %.4f (%.0f%% of mu):\n",
               lambda, 100.0 * lambda / mu);
   std::printf("  arrivals/delivered  = %llu / %llu\n",
@@ -154,11 +232,12 @@ int cmd_steady(const Args& a) {
   std::printf("  mean sojourn phases = %.3f (model-4 bound %.3f)\n",
               out.sojourn_phases.mean(),
               w.setup.tree.depth * queueing::mean_wait(lambda, mu));
-  return 0;
+  return obs.finish(0);
 }
 
 int cmd_setup(const Args& a) {
-  const World w = make_world(a, true);
+  Obs obs = Obs::from_args(a);
+  const World w = make_world(a, true, &obs, /*trace_setup=*/true);
   std::printf("setup on %s: leader=%u depth=%u attempts=%u\n",
               a.get("topology", "").c_str(), w.setup.leader,
               w.setup.tree.depth, w.setup.attempts);
@@ -168,10 +247,11 @@ int cmd_setup(const Args& a) {
               static_cast<unsigned long long>(w.setup.work_slots));
   std::printf("  BFS tree valid = %s\n",
               is_bfs_tree_of(w.g, w.setup.tree) ? "yes" : "NO");
-  return 0;
+  return obs.finish(0);
 }
 
 int cmd_flood(const Args& a) {
+  Obs obs = Obs::from_args(a);
   Rng rng(a.get_u64("seed", 1));
   const Graph g = gen::from_spec(a.get("topology", ""), rng);
   const NodeId source = static_cast<NodeId>(a.get_u64("source", 0));
@@ -181,11 +261,22 @@ int cmd_flood(const Args& a) {
   std::printf("BGI flood from %u: informed %u/%u in %llu slots\n", source,
               out.informed_count, g.num_nodes(),
               static_cast<unsigned long long>(out.slots));
-  return out.informed_count == g.num_nodes() ? 0 : 1;
+  obs.tel.timeline.record(
+      "flood", "run", 0, out.slots,
+      {{"informed", static_cast<std::int64_t>(out.informed_count)},
+       {"n", static_cast<std::int64_t>(g.num_nodes())}});
+  obs.tel.metrics.counter("flood.informed").inc(out.informed_count);
+  telemetry::Distribution& at = obs.tel.metrics.distribution(
+      "flood.informed_at", {}, telemetry::Scale::kLog2);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (out.informed[v])
+      at.add(static_cast<std::int64_t>(out.informed_at[v]));
+  return obs.finish(out.informed_count == g.num_nodes() ? 0 : 1);
 }
 
 int cmd_collect(const Args& a) {
-  World w = make_world(a, true);
+  Obs obs = Obs::from_args(a);
+  World w = make_world(a, true, &obs);
   Rng rng(a.get_u64("seed", 1) ^ 0xC0);
   const std::uint64_t k = a.get_u64("k", 16);
   std::vector<Message> init;
@@ -199,17 +290,20 @@ int cmd_collect(const Args& a) {
   }
   CollectionConfig cfg = CollectionConfig::for_graph(w.g);
   if (a.has("no-mod3")) cfg.slots.mod3_gating = false;
+  cfg.telemetry = &obs.tel;
+  cfg.trace = obs.trace();
   const auto out = run_collection(w.g, w.setup.tree, init, cfg, rng.next());
   std::printf("collection of %llu messages: %s in %llu slots (%llu phases)\n",
               static_cast<unsigned long long>(k),
               out.completed ? "complete" : "INCOMPLETE",
               static_cast<unsigned long long>(out.slots),
               static_cast<unsigned long long>(out.phases));
-  return out.completed ? 0 : 1;
+  return obs.finish(out.completed ? 0 : 1);
 }
 
 int cmd_p2p(const Args& a) {
-  World w = make_world(a, true);
+  Obs obs = Obs::from_args(a);
+  World w = make_world(a, true, &obs);
   Rng rng(a.get_u64("seed", 1) ^ 0xB1);
   const std::uint64_t k = a.get_u64("k", 16);
   PreparationResult prep;
@@ -220,22 +314,27 @@ int cmd_p2p(const Args& a) {
   for (std::uint64_t i = 0; i < k; ++i)
     reqs.push_back({static_cast<NodeId>(rng.next_below(w.g.num_nodes())),
                     static_cast<NodeId>(rng.next_below(w.g.num_nodes())), i});
-  const auto out = run_point_to_point(w.g, prep, reqs,
-                                      P2pConfig::for_graph(w.g), rng.next());
+  P2pConfig pcfg = P2pConfig::for_graph(w.g);
+  pcfg.telemetry = &obs.tel;
+  pcfg.trace = obs.trace();
+  const auto out = run_point_to_point(w.g, prep, reqs, pcfg, rng.next());
   std::printf("p2p: %llu/%llu delivered in %llu slots\n",
               static_cast<unsigned long long>(out.delivered),
               static_cast<unsigned long long>(k),
               static_cast<unsigned long long>(out.slots));
-  return out.completed ? 0 : 1;
+  return obs.finish(out.completed ? 0 : 1);
 }
 
 int cmd_broadcast(const Args& a) {
-  World w = make_world(a, true);
+  Obs obs = Obs::from_args(a);
+  World w = make_world(a, true, &obs);
   Rng rng(a.get_u64("seed", 1) ^ 0xB2);
   const std::uint64_t k = a.get_u64("k", 16);
   BroadcastServiceConfig cfg = BroadcastServiceConfig::for_graph(w.g);
   cfg.distribution.window =
       static_cast<std::uint32_t>(a.get_u64("window", 0));
+  cfg.telemetry = &obs.tel;
+  cfg.trace = obs.trace();
   std::vector<NodeId> sources;
   for (std::uint64_t i = 0; i < k; ++i)
     sources.push_back(static_cast<NodeId>(rng.next_below(w.g.num_nodes())));
@@ -246,11 +345,12 @@ int cmd_broadcast(const Args& a) {
               out.completed ? "complete" : "INCOMPLETE",
               static_cast<unsigned long long>(out.slots),
               static_cast<unsigned long long>(out.root_resends));
-  return out.completed ? 0 : 1;
+  return obs.finish(out.completed ? 0 : 1);
 }
 
 int cmd_ranking(const Args& a) {
-  World w = make_world(a, true);
+  Obs obs = Obs::from_args(a);
+  World w = make_world(a, true, &obs);
   Rng rng(a.get_u64("seed", 1) ^ 0xB3);
   PreparationResult prep;
   prep.ok = true;
@@ -258,18 +358,20 @@ int cmd_ranking(const Args& a) {
   prep.routing = w.setup.routing;
   std::vector<std::uint64_t> ids(w.g.num_nodes());
   for (auto& id : ids) id = rng.next();
-  const auto out = run_ranking(w.g, prep, ids, rng.next());
+  const auto out =
+      run_ranking(w.g, prep, ids, rng.next(), 200'000'000, &obs.tel);
   std::printf("ranking of %u nodes: %s in %llu slots\n", w.g.num_nodes(),
               out.completed ? "complete" : "INCOMPLETE",
               static_cast<unsigned long long>(out.total_slots()));
   if (out.completed)
     std::printf("  node 0: id %#llx -> rank %u\n",
                 static_cast<unsigned long long>(ids[0]), out.rank[0]);
-  return out.completed ? 0 : 1;
+  return obs.finish(out.completed ? 0 : 1);
 }
 
 int cmd_ethernet(const Args& a) {
-  World w = make_world(a, true);
+  Obs obs = Obs::from_args(a);
+  World w = make_world(a, true, &obs);
   Rng rng(a.get_u64("seed", 1) ^ 0xB4);
   const std::uint32_t frames =
       static_cast<std::uint32_t>(a.get_u64("frames", 1));
@@ -281,7 +383,16 @@ int cmd_ethernet(const Args& a) {
               out.delivered_frames.size(), out.rounds_used,
               static_cast<unsigned long long>(out.slots),
               out.completed ? "complete" : "INCOMPLETE");
-  return out.completed ? 0 : 1;
+  // run_ethernet_backoff has no telemetry hooks; record the run here.
+  obs.tel.timeline.record(
+      "ethernet", "run", 0, out.slots,
+      {{"frames", static_cast<std::int64_t>(out.delivered_frames.size())},
+       {"rounds", static_cast<std::int64_t>(out.rounds_used)},
+       {"completed", out.completed ? 1 : 0}});
+  obs.tel.metrics.counter("ethernet.delivered_frames")
+      .inc(out.delivered_frames.size());
+  obs.tel.metrics.counter("ethernet.rounds_used").inc(out.rounds_used);
+  return obs.finish(out.completed ? 0 : 1);
 }
 
 }  // namespace
