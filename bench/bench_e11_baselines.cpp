@@ -8,6 +8,10 @@
 //  (c) §1.3: the centralized wave-expansion schedule (Chlamtac-Weinstein
 //      flavor) as the deterministic full-knowledge comparison point for a
 //      single broadcast.
+//
+// Each section's trials shard across --jobs threads with streams split
+// off in the historical loop order, so every column is job-count
+// independent.
 
 #include <string>
 #include <vector>
@@ -29,8 +33,14 @@ using namespace radiomc;
 using namespace radiomc::bench;
 using namespace radiomc::baselines;
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   Rng rng(0xE11);
+  JsonEmitter json("E11",
+                   "pipeline vs naive floods; randomized vs TDMA; wave "
+                   "schedule vs BGI");
+  bool pass = true;
 
   header("E11a: pipelined k-broadcast vs naive sequential floods",
          "pipeline O((k+D) log Delta log n) vs naive Theta(k (D + log n) "
@@ -38,36 +48,59 @@ int main() {
   {
     const Graph g = gen::grid(6, 6);
     const BfsTree tree = oracle_bfs_tree(g, 0);
+    const std::vector<std::uint64_t> ks = {1, 4, 16, 64};
+    constexpr int kReps = 2;
+    std::vector<Rng> streams;
+    for (std::uint64_t k : ks)
+      for (int rep = 0; rep < kReps; ++rep)
+        streams.push_back(rng.split(k * 10 + rep));
+    struct Trial {
+      double pipe = 0, naive = 0;
+    };
+    const auto trials =
+        run_indexed(streams.size(), opt.jobs, [&](std::uint64_t i) {
+          const std::uint64_t k = ks[i / kReps];
+          Rng r = streams[i];
+          std::vector<NodeId> sources;
+          for (std::uint64_t j = 0; j < k; ++j)
+            sources.push_back(
+                static_cast<NodeId>(r.next_below(g.num_nodes())));
+          Trial tr;
+          tr.pipe = static_cast<double>(
+              run_k_broadcast(g, tree, sources,
+                              BroadcastServiceConfig::for_graph(g), r.next())
+                  .slots);
+          tr.naive = static_cast<double>(
+              run_naive_k_broadcast(g, sources, r.next()).slots);
+          return tr;
+        });
     Table t({"k", "pipeline", "naive", "speedup"});
     double last_speedup = 0;
-    for (std::uint64_t k : {1, 4, 16, 64}) {
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
       OnlineStats pipe, naive;
-      for (int rep = 0; rep < 2; ++rep) {
-        Rng r = rng.split(k * 10 + rep);
-        std::vector<NodeId> sources;
-        for (std::uint64_t i = 0; i < k; ++i)
-          sources.push_back(static_cast<NodeId>(r.next_below(g.num_nodes())));
-        pipe.add(static_cast<double>(
-            run_k_broadcast(g, tree, sources,
-                            BroadcastServiceConfig::for_graph(g), r.next())
-                .slots));
-        naive.add(static_cast<double>(
-            run_naive_k_broadcast(g, sources, r.next()).slots));
+      for (int rep = 0; rep < kReps; ++rep) {
+        pipe.add(trials[ki * kReps + rep].pipe);
+        naive.add(trials[ki * kReps + rep].naive);
       }
       last_speedup = naive.mean() / pipe.mean();
-      t.row({num(k), num(pipe.mean(), 0), num(naive.mean(), 0),
+      t.row({num(ks[ki]), num(pipe.mean(), 0), num(naive.mean(), 0),
              num(last_speedup, 2)});
+      json.row({{"section", "a_pipeline_vs_naive"},
+                {"k", ks[ki]},
+                {"pipeline_slots_mean", pipe.mean()},
+                {"naive_slots_mean", naive.mean()},
+                {"speedup", last_speedup}});
     }
+    t.print();
     verdict(last_speedup > 2.0,
             "the pipeline wins decisively at large k (who-wins shape)");
+    pass = pass && last_speedup > 2.0;
   }
 
   header("E11b: randomized collection vs deterministic TDMA",
          "TDMA Theta((k+D) n) vs randomized O((k+D) log Delta): randomized "
          "wins as n grows");
   {
-    Table t({"topology", "n", "randomized", "tdma", "speedup"});
-    double last = 0;
     struct Case {
       std::string name;
       Graph g;
@@ -77,43 +110,69 @@ int main() {
       cases.push_back({"grid" + std::to_string(side) + "x" +
                            std::to_string(side),
                        gen::grid(side, side)});
-    for (auto& c : cases) {
-      const BfsTree tree = oracle_bfs_tree(c.g, 0);
+    constexpr int kReps = 2;
+    std::vector<Rng> streams;
+    for (auto& c : cases)
+      for (int rep = 0; rep < kReps; ++rep)
+        streams.push_back(rng.split(c.g.num_nodes() * 7 + rep));
+    struct Trial {
+      double rand_s = 0, tdma_s = 0;
+    };
+    const auto trials =
+        run_indexed(streams.size(), opt.jobs, [&](std::uint64_t i) {
+          const Case& c = cases[i / kReps];
+          const BfsTree tree = oracle_bfs_tree(c.g, 0);
+          Rng r = streams[i];
+          std::vector<NodeId> sources;
+          std::vector<Message> init;
+          for (int j = 0; j < 32; ++j) {
+            const NodeId v =
+                static_cast<NodeId>(1 + r.next_below(c.g.num_nodes() - 1));
+            sources.push_back(v);
+            Message m;
+            m.kind = MsgKind::kData;
+            m.origin = v;
+            m.seq = static_cast<std::uint32_t>(j);
+            init.push_back(m);
+          }
+          Trial tr;
+          tr.rand_s = static_cast<double>(
+              run_collection(c.g, tree, init,
+                             CollectionConfig::for_graph(c.g), r.next())
+                  .slots);
+          tr.tdma_s = static_cast<double>(
+              run_tdma_collection(c.g, tree, sources).slots);
+          return tr;
+        });
+    Table t({"topology", "n", "randomized", "tdma", "speedup"});
+    double last = 0;
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      const Case& c = cases[ci];
       OnlineStats rand_s, tdma_s;
-      for (int rep = 0; rep < 2; ++rep) {
-        Rng r = rng.split(c.g.num_nodes() * 7 + rep);
-        std::vector<NodeId> sources;
-        std::vector<Message> init;
-        for (int i = 0; i < 32; ++i) {
-          const NodeId v =
-              static_cast<NodeId>(1 + r.next_below(c.g.num_nodes() - 1));
-          sources.push_back(v);
-          Message m;
-          m.kind = MsgKind::kData;
-          m.origin = v;
-          m.seq = static_cast<std::uint32_t>(i);
-          init.push_back(m);
-        }
-        rand_s.add(static_cast<double>(
-            run_collection(c.g, tree, init, CollectionConfig::for_graph(c.g),
-                           r.next())
-                .slots));
-        tdma_s.add(
-            static_cast<double>(run_tdma_collection(c.g, tree, sources).slots));
+      for (int rep = 0; rep < kReps; ++rep) {
+        rand_s.add(trials[ci * kReps + rep].rand_s);
+        tdma_s.add(trials[ci * kReps + rep].tdma_s);
       }
       last = tdma_s.mean() / rand_s.mean();
-      t.row({c.name, num(std::uint64_t(c.g.num_nodes())), num(rand_s.mean(), 0),
-             num(tdma_s.mean(), 0), num(last, 2)});
+      t.row({c.name, num(std::uint64_t(c.g.num_nodes())),
+             num(rand_s.mean(), 0), num(tdma_s.mean(), 0), num(last, 2)});
+      json.row({{"section", "b_randomized_vs_tdma"},
+                {"topology", c.name},
+                {"n", c.g.num_nodes()},
+                {"randomized_slots_mean", rand_s.mean()},
+                {"tdma_slots_mean", tdma_s.mean()},
+                {"speedup", last}});
     }
+    t.print();
     verdict(last > 1.0,
             "randomized collection overtakes TDMA at large n (crossover)");
+    pass = pass && last > 1.0;
   }
 
   header("E11c: centralized wave schedule vs randomized BGI flood",
          "full topology knowledge buys a collision-free O(D log^2 n) "
          "schedule; BGI needs no knowledge and pays a log factor");
   {
-    Table t({"topology", "n", "D", "wave_rounds", "bgi_slots"});
     struct Case {
       std::string name;
       Graph g;
@@ -122,20 +181,42 @@ int main() {
     cases.push_back({"path40", gen::path(40)});
     cases.push_back({"grid7x7", gen::grid(7, 7)});
     cases.push_back({"gnp48", gen::gnp_connected(48, 0.12, rng)});
-    for (auto& c : cases) {
-      const WaveSchedule s = compute_wave_schedule(c.g, 0);
-      const WaveOutcome w = execute_wave_schedule(c.g, s);
-      // BGI until everyone informed.
-      Rng r = rng.split(c.g.num_nodes());
-      const std::uint64_t phases =
-          4 * (diameter(c.g) + 2 * ceil_log2(c.g.num_nodes()) + 4);
-      const auto b = run_bgi_broadcast(c.g, 0, phases, r.next());
+    std::vector<Rng> streams;
+    for (auto& c : cases) streams.push_back(rng.split(c.g.num_nodes()));
+    struct Trial {
+      std::uint64_t wave = 0, bgi = 0;
+    };
+    const auto trials =
+        run_indexed(cases.size(), opt.jobs, [&](std::uint64_t i) {
+          const Case& c = cases[i];
+          const WaveSchedule s = compute_wave_schedule(c.g, 0);
+          const WaveOutcome w = execute_wave_schedule(c.g, s);
+          // BGI until everyone informed.
+          Rng r = streams[i];
+          const std::uint64_t phases =
+              4 * (diameter(c.g) + 2 * ceil_log2(c.g.num_nodes()) + 4);
+          const auto b = run_bgi_broadcast(c.g, 0, phases, r.next());
+          return Trial{w.slots, b.slots};
+        });
+    Table t({"topology", "n", "D", "wave_rounds", "bgi_slots"});
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      const Case& c = cases[ci];
       t.row({c.name, num(std::uint64_t(c.g.num_nodes())),
-             num(std::uint64_t(diameter(c.g))), num(std::uint64_t(w.slots)),
-             num(std::uint64_t(b.slots))});
+             num(std::uint64_t(diameter(c.g))),
+             num(std::uint64_t(trials[ci].wave)),
+             num(std::uint64_t(trials[ci].bgi))});
+      json.row({{"section", "c_wave_vs_bgi"},
+                {"topology", c.name},
+                {"n", c.g.num_nodes()},
+                {"diameter", diameter(c.g)},
+                {"wave_rounds", trials[ci].wave},
+                {"bgi_slots", trials[ci].bgi}});
     }
+    t.print();
     std::printf("   (wave schedules verified collision-free and complete "
                 "by execution on the engine)\n");
   }
+  json.pass(pass);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

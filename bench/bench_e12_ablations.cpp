@@ -8,6 +8,10 @@
 //      broadcast service.
 //  (d) Decay invocation length: the 2 ceil(log2 Delta) choice vs shorter
 //      and longer invocations (collection completion time).
+//
+// Sections (a), (c) and (d) shard their repetitions across --jobs threads
+// with streams split off in the historical loop order; (b) is a pure
+// arithmetic identity.
 
 #include <vector>
 
@@ -39,35 +43,63 @@ std::vector<Message> workload(const Graph& g, int k, Rng& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   Rng rng(0xE12);
   const Graph g = gen::grid(6, 6);
   const BfsTree tree = oracle_bfs_tree(g, 0);
   const int k = 64;
+  JsonEmitter json("E12",
+                   "mod-3 gating x3; ack subslots x2; channel multiplexing "
+                   "~x2; decay length knee");
+  bool pass = true;
 
   header("E12a: mod-3 level gating (§2.2)",
          "gating multiplies the slot budget by 3; without it collisions "
          "cross levels but acks keep the protocol correct");
   {
+    constexpr int kReps = 4;
+    std::vector<Rng> streams;
+    for (int rep = 0; rep < kReps; ++rep) streams.push_back(rng.split(rep));
+    struct Trial {
+      double with = 0, without = 0;
+    };
+    const auto trials =
+        run_indexed(kReps, opt.jobs, [&](std::uint64_t i) {
+          Rng r = streams[i];
+          auto init = workload(g, k, r);
+          Trial tr;
+          tr.with = static_cast<double>(
+              run_collection(g, tree, init, CollectionConfig::for_graph(g),
+                             r.next())
+                  .slots);
+          CollectionConfig cfg = CollectionConfig::for_graph(g);
+          cfg.slots.mod3_gating = false;
+          tr.without = static_cast<double>(
+              run_collection(g, tree, init, cfg, r.next()).slots);
+          return tr;
+        });
     OnlineStats with, without;
-    for (int rep = 0; rep < 4; ++rep) {
-      Rng r = rng.split(rep);
-      auto init = workload(g, k, r);
-      with.add(static_cast<double>(
-          run_collection(g, tree, init, CollectionConfig::for_graph(g),
-                         r.next())
-              .slots));
-      CollectionConfig cfg = CollectionConfig::for_graph(g);
-      cfg.slots.mod3_gating = false;
-      without.add(static_cast<double>(
-          run_collection(g, tree, init, cfg, r.next()).slots));
+    for (const auto& tr : trials) {
+      with.add(tr.with);
+      without.add(tr.without);
     }
     Table t({"variant", "slots", "factor"});
-    t.row({"mod3 on", num(with.mean(), 0), num(with.mean() / without.mean(), 2)});
+    t.row({"mod3 on", num(with.mean(), 0),
+           num(with.mean() / without.mean(), 2)});
     t.row({"mod3 off", num(without.mean(), 0), "1.00"});
-    verdict(with.mean() / without.mean() < 3.2,
+    t.print();
+    const bool ok = with.mean() / without.mean() < 3.2;
+    verdict(ok,
             "observed slow-down at most the paper's x3 (often less: gated "
             "phases waste fewer transmissions on cross-level collisions)");
+    json.row({{"section", "a_mod3_gating"},
+              {"gated_slots_mean", with.mean()},
+              {"plain_slots_mean", without.mean()},
+              {"factor", with.mean() / without.mean()},
+              {"ok", ok}});
+    pass = pass && ok;
   }
 
   header("E12b: acknowledgement subslots (§3)",
@@ -83,32 +115,62 @@ int main() {
     Table t({"variant", "slots/phase"});
     t.row({"acks on", num(std::uint64_t(cw.slots_per_phase()))});
     t.row({"acks off", num(std::uint64_t(cn.slots_per_phase()))});
-    verdict(cw.slots_per_phase() == 2 * cn.slots_per_phase(),
-            "exactly the paper's factor 2");
+    t.print();
+    const bool ok = cw.slots_per_phase() == 2 * cn.slots_per_phase();
+    verdict(ok, "exactly the paper's factor 2");
+    json.row({{"section", "b_ack_subslots"},
+              {"slots_per_phase_acks", cw.slots_per_phase()},
+              {"slots_per_phase_no_acks", cn.slots_per_phase()},
+              {"ok", ok}});
+    pass = pass && ok;
   }
 
   header("E12c: separate channels vs time multiplexing (§1.4)",
          "odd/even multiplexing halves each subprotocol's rate: ~2x slots");
   {
+    constexpr int kReps = 3;
+    std::vector<Rng> streams;
+    for (int rep = 0; rep < kReps; ++rep)
+      streams.push_back(rng.split(100 + rep));
+    struct Trial {
+      double sep = 0, tdm = 0;
+    };
+    const auto trials =
+        run_indexed(kReps, opt.jobs, [&](std::uint64_t i) {
+          Rng r = streams[i];
+          std::vector<NodeId> sources;
+          for (int j = 0; j < 32; ++j)
+            sources.push_back(
+                static_cast<NodeId>(r.next_below(g.num_nodes())));
+          Trial tr;
+          BroadcastServiceConfig c1 = BroadcastServiceConfig::for_graph(g);
+          tr.sep = static_cast<double>(
+              run_k_broadcast(g, tree, sources, c1, r.next()).slots);
+          BroadcastServiceConfig c2 = BroadcastServiceConfig::for_graph(g);
+          c2.mode = BroadcastServiceConfig::ChannelMode::kTimeDivision;
+          tr.tdm = static_cast<double>(
+              run_k_broadcast(g, tree, sources, c2, r.next()).slots);
+          return tr;
+        });
     OnlineStats sep, tdm;
-    for (int rep = 0; rep < 3; ++rep) {
-      Rng r = rng.split(100 + rep);
-      std::vector<NodeId> sources;
-      for (int i = 0; i < 32; ++i)
-        sources.push_back(static_cast<NodeId>(r.next_below(g.num_nodes())));
-      BroadcastServiceConfig c1 = BroadcastServiceConfig::for_graph(g);
-      sep.add(static_cast<double>(
-          run_k_broadcast(g, tree, sources, c1, r.next()).slots));
-      BroadcastServiceConfig c2 = BroadcastServiceConfig::for_graph(g);
-      c2.mode = BroadcastServiceConfig::ChannelMode::kTimeDivision;
-      tdm.add(static_cast<double>(
-          run_k_broadcast(g, tree, sources, c2, r.next()).slots));
+    for (const auto& tr : trials) {
+      sep.add(tr.sep);
+      tdm.add(tr.tdm);
     }
     Table t({"variant", "slots", "factor"});
     t.row({"separate ch", num(sep.mean(), 0), "1.00"});
-    t.row({"time division", num(tdm.mean(), 0), num(tdm.mean() / sep.mean(), 2)});
-    verdict(tdm.mean() / sep.mean() > 1.3 && tdm.mean() / sep.mean() < 3.0,
-            "multiplexing costs about the expected factor 2");
+    t.row({"time division", num(tdm.mean(), 0),
+           num(tdm.mean() / sep.mean(), 2)});
+    t.print();
+    const bool ok =
+        tdm.mean() / sep.mean() > 1.3 && tdm.mean() / sep.mean() < 3.0;
+    verdict(ok, "multiplexing costs about the expected factor 2");
+    json.row({{"section", "c_channel_multiplexing"},
+              {"separate_slots_mean", sep.mean()},
+              {"tdm_slots_mean", tdm.mean()},
+              {"factor", tdm.mean() / sep.mean()},
+              {"ok", ok}});
+    pass = pass && ok;
   }
 
   header("E12d: Decay length under high fan-in",
@@ -126,35 +188,63 @@ int main() {
     // (success ~ 32 * 2^-32 per phase for len = 2), so cap the runs and
     // report the cap as "did not finish" — which is itself the result.
     const SlotTime cap = 300'000;
+    const std::vector<std::uint32_t> lens = {2u, 4u, 8u, base, 2 * base,
+                                             4 * base};
+    constexpr int kReps = 3;
+    std::vector<Rng> streams;
+    for (std::uint32_t len : lens)
+      for (int rep = 0; rep < kReps; ++rep)
+        streams.push_back(rng.split(200 + len * 10 + rep));
+    struct Trial {
+      double slots = 0;
+      bool finished = true;
+    };
+    const auto trials =
+        run_indexed(streams.size(), opt.jobs, [&](std::uint64_t i) {
+          const std::uint32_t len = lens[i / kReps];
+          Rng r = streams[i];
+          std::vector<Message> init;
+          for (NodeId v = 1; v < star.num_nodes(); ++v) {
+            Message m;
+            m.kind = MsgKind::kData;
+            m.origin = v;
+            init.push_back(m);
+          }
+          CollectionConfig cfg = CollectionConfig::for_graph(star);
+          cfg.slots.decay_len = len;
+          const auto out =
+              run_collection(star, stree, init, cfg, r.next(), cap);
+          return Trial{static_cast<double>(out.slots), out.completed};
+        });
     Table t({"decay_len", "collection slots"});
     double best = 1e18, at_base = 0;
-    for (std::uint32_t len : {2u, 4u, 8u, base, 2 * base, 4 * base}) {
+    for (std::size_t li = 0; li < lens.size(); ++li) {
+      const std::uint32_t len = lens[li];
       OnlineStats s;
       bool finished = true;
-      for (int rep = 0; rep < 3; ++rep) {
-        Rng r = rng.split(200 + len * 10 + rep);
-        std::vector<Message> init;
-        for (NodeId v = 1; v < star.num_nodes(); ++v) {
-          Message m;
-          m.kind = MsgKind::kData;
-          m.origin = v;
-          init.push_back(m);
-        }
-        CollectionConfig cfg = CollectionConfig::for_graph(star);
-        cfg.slots.decay_len = len;
-        const auto out = run_collection(star, stree, init, cfg, r.next(), cap);
-        finished = finished && out.completed;
-        s.add(static_cast<double>(out.slots));
+      for (int rep = 0; rep < kReps; ++rep) {
+        const Trial& tr = trials[li * kReps + rep];
+        finished = finished && tr.finished;
+        s.add(tr.slots);
       }
       if (len == base) at_base = s.mean();
       best = std::min(best, s.mean());
       t.row({num(std::uint64_t(len)),
              finished ? num(s.mean(), 0)
                       : (">" + num(std::uint64_t(cap)) + " (DNF)")});
+      json.row({{"section", "d_decay_length"},
+                {"decay_len", len},
+                {"slots_mean", s.mean()},
+                {"finished", finished}});
     }
-    verdict(at_base < 1.6 * best,
+    t.print();
+    const bool ok = at_base < 1.6 * best;
+    verdict(ok,
             "the paper's 2 log2(Delta) sits within 60% of the empirical "
             "best under Delta-way contention");
+    pass = pass && ok;
   }
+  json.pass(pass);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

@@ -7,6 +7,9 @@
 // transmission and delivery counts during a k-message collection and a
 // k-broadcast. The root-adjacent levels carry the entire load, with per-
 // node transmissions growing toward the root like k / width(level).
+//
+// Inherently serial: one traced engine run whose ActivityCounter is the
+// measurement; --jobs is accepted for harness uniformity only.
 
 #include <string>
 #include <vector>
@@ -23,7 +26,9 @@
 using namespace radiomc;
 using namespace radiomc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   header("E13: root congestion (the §8(5) open problem, quantified)",
          "tree routing concentrates traffic at low levels: per-node "
          "transmissions grow toward the root");
@@ -69,6 +74,9 @@ int main() {
   std::printf("\n   collection of k=%d messages on grid8x8 (D=%u):\n", k,
               tree.depth);
   Table t({"level", "nodes", "tx_total", "tx_per_node"});
+  JsonEmitter json("E13",
+                   "tree routing concentrates per-node transmissions "
+                   "toward the root");
   double tx_lvl1 = 0, tx_deep = 0;
   for (std::uint32_t l = 0; l <= tree.depth; ++l) {
     const double per =
@@ -77,11 +85,19 @@ int main() {
     if (l == tree.depth) tx_deep = per;
     t.row({num(std::uint64_t(l)), num(level_n[l]), num(level_tx[l]),
            num(per, 1)});
+    json.row({{"level", l},
+              {"nodes", level_n[l]},
+              {"tx_total", level_tx[l]},
+              {"tx_per_node", per}});
   }
-  verdict(tx_lvl1 > 4 * (tx_deep + 1),
+  t.print();
+  const bool ok = tx_lvl1 > 4 * (tx_deep + 1);
+  verdict(ok,
           "level-1 nodes transmit an order of magnitude more than deep "
           "nodes: the root bottleneck the paper's open problem names");
   std::printf("   (every message crosses level 1; only k/width(l) cross a "
               "deep level)\n");
+  json.pass(ok);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

@@ -7,6 +7,10 @@
 // transmitting neighbors k (1..Delta) on a star neighborhood and report the
 // empirical reception probability next to the paper's 1/2 bound; then a
 // UDG neighborhood to show the property is not star-specific.
+//
+// Each (Delta, k) cell is one trial of the deterministic parallel runner:
+// its 4000 decay invocations draw from a stream split off the root in cell
+// order, so the table is byte-identical for any --jobs value.
 
 #include <algorithm>
 #include <vector>
@@ -19,7 +23,24 @@
 using namespace radiomc;
 using namespace radiomc::bench;
 
-int main() {
+namespace {
+
+/// Empirical reception probability over `trials` decay invocations.
+double reception_rate(const Graph& g, int k, std::uint32_t len, int trials,
+                      Rng& rng) {
+  std::vector<NodeId> tx;
+  for (int i = 1; i <= k; ++i) tx.push_back(static_cast<NodeId>(i));
+  int succ = 0;
+  for (int i = 0; i < trials; ++i)
+    if (decay_single_trial(g, 0, tx, len, rng)) ++succ;
+  return static_cast<double>(succ) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   header("E1: Decay property (2)",
          "P(receive) > 1/2 within 2 log2(Delta) slots, for any 1..Delta "
          "transmitting neighbors");
@@ -27,28 +48,45 @@ int main() {
   const int trials = 4000;
   Table t({"Delta", "tx_nbrs", "decay_len", "P(receive)", "paper_bound",
            "verdict"});
+  JsonEmitter json("E1",
+                   "P(receive) > 1/2 within 2 log2(Delta) slots for any "
+                   "1..Delta transmitting neighbors");
   bool all_ok = true;
   Rng rng(0xE1);
-  for (int delta : {2, 4, 8, 16, 32, 64, 128}) {
-    const Graph g = gen::star(delta + 1);
-    const std::uint32_t len = decay_length(delta);
-    for (int k : {1, delta / 2 > 0 ? delta / 2 : 1, delta}) {
-      std::vector<NodeId> tx;
-      for (int i = 1; i <= k; ++i) tx.push_back(static_cast<NodeId>(i));
-      int succ = 0;
-      for (int i = 0; i < trials; ++i)
-        if (decay_single_trial(g, 0, tx, len, rng)) ++succ;
-      const double p = static_cast<double>(succ) / trials;
-      // Delta = 2, k = 2 attains exactly 1/2 analytically (both transmit
-      // and collide at step 0; success iff exactly one survives to step 1,
-      // probability 2 * 1/2 * 1/2); allow sampling noise at that boundary.
-      const bool ok = p > 0.5 - 0.025;
-      all_ok = all_ok && ok;
-      t.row({num(std::uint64_t(delta)), num(std::uint64_t(k)),
-             num(std::uint64_t(len)), num(p, 3), "0.500",
-             ok ? "OK" : "BELOW"});
-    }
+
+  struct Cell {
+    int delta, k;
+  };
+  std::vector<Cell> cells;
+  for (int delta : {2, 4, 8, 16, 32, 64, 128})
+    for (int k : {1, delta / 2 > 0 ? delta / 2 : 1, delta})
+      cells.push_back({delta, k});
+
+  const auto rates = run_trials(
+      cells.size(), opt.jobs, rng, [&](std::uint64_t i, Rng& r) {
+        const Cell& c = cells[i];
+        const Graph g = gen::star(c.delta + 1);
+        return reception_rate(g, c.k, decay_length(c.delta), trials, r);
+      });
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const double p = rates[i];
+    // Delta = 2, k = 2 attains exactly 1/2 analytically (both transmit
+    // and collide at step 0; success iff exactly one survives to step 1,
+    // probability 2 * 1/2 * 1/2); allow sampling noise at that boundary.
+    const bool ok = p > 0.5 - 0.025;
+    all_ok = all_ok && ok;
+    t.row({num(std::uint64_t(c.delta)), num(std::uint64_t(c.k)),
+           num(std::uint64_t(decay_length(c.delta))), num(p, 3), "0.500",
+           ok ? "OK" : "BELOW"});
+    json.row({{"delta", c.delta},
+              {"tx_nbrs", c.k},
+              {"decay_len", decay_length(c.delta)},
+              {"p_receive", p},
+              {"ok", ok}});
   }
+  t.print();
   verdict(all_ok,
           "reception probability >= 1/2 for every (Delta, k); the strict "
           "inequality is tight only at the (2, 2) boundary, where the exact "
@@ -60,19 +98,28 @@ int main() {
   {
     const int delta = 16;
     const Graph g = gen::star(delta + 1);
+    const auto ps = run_trials(
+        static_cast<std::uint64_t>(delta), opt.jobs, rng,
+        [&](std::uint64_t i, Rng& r) {
+          return reception_rate(g, static_cast<int>(i) + 1,
+                                decay_length(delta), trials, r);
+        });
     Table tmin({"k", "P(receive)"});
     double worst = 1.0;
     for (int k = 1; k <= delta; ++k) {
-      std::vector<NodeId> tx;
-      for (int i = 1; i <= k; ++i) tx.push_back(static_cast<NodeId>(i));
-      int succ = 0;
-      for (int i = 0; i < trials; ++i)
-        if (decay_single_trial(g, 0, tx, decay_length(delta), rng)) ++succ;
-      const double p = static_cast<double>(succ) / trials;
+      const double p = ps[k - 1];
       worst = std::min(worst, p);
       tmin.row({num(std::uint64_t(k)), num(p, 3)});
+      json.row({{"section", "min_over_k"},
+                {"delta", delta},
+                {"tx_nbrs", k},
+                {"p_receive", p}});
     }
+    tmin.print();
     verdict(worst > 0.5, "minimum over k stays above 1/2");
+    all_ok = all_ok && worst > 0.5;
   }
+  json.pass(all_ok);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

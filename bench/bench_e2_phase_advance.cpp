@@ -10,6 +10,9 @@
 // real protocol has, including in the overloaded TRY > Delta regime that
 // the theorem's Case 2 covers — the "flood" rows place Delta messages on
 // every node).
+//
+// The (case, rep) collection runs shard across --jobs threads; seeds are
+// drawn serially in loop order, so counts match the serial run exactly.
 
 #include <string>
 #include <vector>
@@ -35,7 +38,9 @@ struct Case {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   header("E2: Theorem 4.1 per-phase level advance",
          "P(occupied level advances a message to its parent per phase) >= "
          "mu = e^-1(1-e^-1) ~ 0.2325");
@@ -52,30 +57,53 @@ int main() {
   cases.push_back({"grid8x8 flood", gen::grid(8, 8), 4});
   cases.push_back({"star32 flood", gen::star(33), 8});
 
+  constexpr int kReps = 3;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(cases.size() * kReps);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci)
+    for (int rep = 0; rep < kReps; ++rep) seeds.push_back(rng.next());
+
+  struct Counts {
+    std::uint64_t occ = 0, adv = 0;
+  };
+  const auto counts =
+      run_indexed(seeds.size(), opt.jobs, [&](std::uint64_t i) {
+        const Case& c = cases[i / kReps];
+        const BfsTree tree = oracle_bfs_tree(c.g, 0);
+        std::vector<Message> init;
+        for (NodeId v = 1; v < c.g.num_nodes(); ++v)
+          for (int s = 0; s < c.copies; ++s) {
+            Message m;
+            m.kind = MsgKind::kData;
+            m.origin = v;
+            m.seq = static_cast<std::uint32_t>(s);
+            init.push_back(m);
+          }
+        const auto out = run_collection(c.g, tree, init,
+                                        CollectionConfig::for_graph(c.g),
+                                        seeds[i]);
+        Counts cnt;
+        if (!out.completed) return cnt;
+        for (std::uint32_t l = 1; l < out.occupied_phases.size(); ++l) {
+          cnt.occ += out.occupied_phases[l];
+          cnt.adv += out.advance_phases[l];
+        }
+        return cnt;
+      });
+
   Table t({"topology", "n", "Delta", "D", "occupied", "advanced",
            "P(advance)", "mu_bound", "verdict"});
+  JsonEmitter json("E2",
+                   "P(occupied level advances per phase) >= mu = "
+                   "e^-1(1-e^-1) ~ 0.2325");
   bool all_ok = true;
-  for (auto& c : cases) {
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
     const BfsTree tree = oracle_bfs_tree(c.g, 0);
     std::uint64_t occ = 0, adv = 0;
-    for (int rep = 0; rep < 3; ++rep) {
-      std::vector<Message> init;
-      for (NodeId v = 1; v < c.g.num_nodes(); ++v)
-        for (int s = 0; s < c.copies; ++s) {
-          Message m;
-          m.kind = MsgKind::kData;
-          m.origin = v;
-          m.seq = static_cast<std::uint32_t>(s);
-          init.push_back(m);
-        }
-      const auto out = run_collection(c.g, tree, init,
-                                      CollectionConfig::for_graph(c.g),
-                                      rng.next());
-      if (!out.completed) continue;
-      for (std::uint32_t l = 1; l < out.occupied_phases.size(); ++l) {
-        occ += out.occupied_phases[l];
-        adv += out.advance_phases[l];
-      }
+    for (int rep = 0; rep < kReps; ++rep) {
+      occ += counts[ci * kReps + rep].occ;
+      adv += counts[ci * kReps + rep].adv;
     }
     const double p = occ ? static_cast<double>(adv) / occ : 0.0;
     const bool ok = p >= queueing::mu_decay();
@@ -84,7 +112,19 @@ int main() {
            num(std::uint64_t(c.g.max_degree())), num(std::uint64_t(tree.depth)),
            num(occ), num(adv), num(p, 3), num(queueing::mu_decay(), 4),
            ok ? "OK" : "BELOW"});
+    json.row({{"topology", c.name},
+              {"n", c.g.num_nodes()},
+              {"max_degree", c.g.max_degree()},
+              {"depth", tree.depth},
+              {"occupied", occ},
+              {"advanced", adv},
+              {"p_advance", p},
+              {"mu_bound", queueing::mu_decay()},
+              {"ok", ok}});
   }
+  t.print();
   verdict(all_ok, "every topology clears the Theorem 4.1 lower bound");
+  json.pass(all_ok);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

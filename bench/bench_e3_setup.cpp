@@ -8,6 +8,9 @@
 // must know when it ends), and `work` — the slot at which the root's final
 // verification completed. Both are normalized by (n + D log2 n) log2 Delta;
 // a roughly flat ratio column is the claim.
+//
+// Setup runs shard across --jobs threads; seeds are drawn serially in
+// (case, rep) order so statistics are job-count independent.
 
 #include <cmath>
 #include <string>
@@ -30,7 +33,9 @@ double bound(NodeId n, std::uint32_t d, std::uint32_t delta) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   header("E3: setup phase cost",
          "expected O((n + D log n) log Delta) slots; ratio column ~ flat");
 
@@ -51,16 +56,29 @@ int main() {
                                48, gen::udg_connect_radius(48), rng)});
   cases.push_back({"gnp48", gen::gnp_connected(48, 0.12, rng)});
 
+  constexpr int kReps = 2;
+  // One seed per (case, rep), drawn in the order the serial loop used.
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(cases.size() * kReps);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci)
+    for (int rep = 0; rep < kReps; ++rep) seeds.push_back(rng.next());
+
+  const auto outcomes =
+      run_indexed(seeds.size(), opt.jobs, [&](std::uint64_t i) {
+        return run_setup(cases[i / kReps].g, seeds[i]);
+      });
+
   Table t({"topology", "n", "D", "Delta", "attempts", "schedule", "work",
            "sched/bound", "work/bound"});
   JsonEmitter json("E3", "setup slots ~ O((n + D log n) log Delta)");
   bool shape_ok = true;
   double min_ratio = 1e18, max_ratio = 0;
-  for (auto& c : cases) {
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
     const std::uint32_t d = diameter(c.g);
     OnlineStats sched, work, attempts;
-    for (int rep = 0; rep < 2; ++rep) {
-      const SetupOutcome out = run_setup(c.g, rng.next());
+    for (int rep = 0; rep < kReps; ++rep) {
+      const SetupOutcome& out = outcomes[ci * kReps + rep];
       if (!out.ok) {
         shape_ok = false;
         continue;
@@ -88,6 +106,7 @@ int main() {
               {"schedule_over_bound", r},
               {"work_over_bound", work.mean() / b}});
   }
+  t.print();
   // "Flat" up to the budget constants: the largest/smallest normalized cost
   // should stay within a modest factor as n grows 8x.
   shape_ok = shape_ok && (max_ratio / min_ratio < 12.0);
@@ -95,5 +114,6 @@ int main() {
           "setup cost tracks (n + D log n) log Delta across an 8x n range "
           "(ratio spread < 12x; constants come from the epoch budgets)");
   json.pass(shape_ok);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

@@ -5,7 +5,9 @@
 //
 // Sweep k; report slots, slots normalized by (k+D) log2(Delta) log2(n)
 // (flattens), the marginal slots per extra broadcast next to one
-// superphase (= the throughput claim), and the repair traffic.
+// superphase (= the throughput claim), and the repair traffic. The
+// (k, rep) runs shard across --jobs threads; streams are split off the
+// root in loop order so statistics are job-count independent.
 
 #include <vector>
 
@@ -20,7 +22,9 @@
 using namespace radiomc;
 using namespace radiomc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   header("E6: pipelined k-broadcast",
          "O((k+D) log Delta log n) slots; one broadcast per superphase of "
          "O(log Delta log n) slots once the pipeline fills");
@@ -34,23 +38,52 @@ int main() {
   const double logd = std::max<double>(1, ceil_log2(g.max_degree()));
   const double logn = std::max<double>(1, ceil_log2(g.num_nodes()));
 
+  const std::vector<std::uint64_t> ks = {1, 2, 4, 8, 16, 32, 64, 128};
+  constexpr int kReps = 3;
+  std::vector<Rng> streams;
+  streams.reserve(ks.size() * kReps);
+  for (std::uint64_t k : ks)
+    for (int rep = 0; rep < kReps; ++rep)
+      streams.push_back(rng.split(k * 10 + rep));
+
+  struct Trial {
+    bool completed = false;
+    double slots = 0, resends = 0;
+  };
+  const auto trials =
+      run_indexed(streams.size(), opt.jobs, [&](std::uint64_t i) {
+        const std::uint64_t k = ks[i / kReps];
+        Rng r = streams[i];
+        std::vector<NodeId> sources;
+        for (std::uint64_t j = 0; j < k; ++j)
+          sources.push_back(static_cast<NodeId>(r.next_below(g.num_nodes())));
+        const auto out = run_k_broadcast(g, tree, sources,
+                                         BroadcastServiceConfig::for_graph(g),
+                                         r.next());
+        Trial tr;
+        tr.completed = out.completed;
+        if (out.completed) {
+          tr.slots = static_cast<double>(out.slots);
+          tr.resends = static_cast<double>(out.root_resends);
+        }
+        return tr;
+      });
+
   Table t({"k", "slots", "norm", "marginal/bcast", "superphase",
            "resends"});
+  JsonEmitter json("E6",
+                   "O((k+D) log Delta log n) slots; marginal cost per "
+                   "broadcast ~ one superphase");
   double prev = 0, first_norm = 0, last_norm = 0, last_marginal = 0;
   std::uint64_t prev_k = 0;
-  for (std::uint64_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    const std::uint64_t k = ks[ki];
     OnlineStats slots, resends;
-    for (int rep = 0; rep < 3; ++rep) {
-      Rng r = rng.split(k * 10 + rep);
-      std::vector<NodeId> sources;
-      for (std::uint64_t i = 0; i < k; ++i)
-        sources.push_back(static_cast<NodeId>(r.next_below(g.num_nodes())));
-      const auto out = run_k_broadcast(g, tree, sources,
-                                       BroadcastServiceConfig::for_graph(g),
-                                       r.next());
-      if (!out.completed) continue;
-      slots.add(static_cast<double>(out.slots));
-      resends.add(static_cast<double>(out.root_resends));
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Trial& tr = trials[ki * kReps + rep];
+      if (!tr.completed) continue;
+      slots.add(tr.slots);
+      resends.add(tr.resends);
     }
     const double norm =
         slots.mean() / (static_cast<double>(k + tree.depth) * logd * logn);
@@ -62,14 +95,23 @@ int main() {
     t.row({num(k), num(slots.mean(), 0), num(norm, 1),
            prev_k ? num(marginal, 1) : std::string("-"), num(superphase, 0),
            num(resends.mean(), 1)});
+    json.row({{"k", k},
+              {"slots_mean", slots.mean()},
+              {"norm", norm},
+              {"marginal_slots_per_bcast", marginal},
+              {"superphase_slots", superphase},
+              {"root_resends_mean", resends.mean()}});
     prev = slots.mean();
     prev_k = k;
   }
+  t.print();
   const bool flat = last_norm < 2.0 * first_norm;
   const bool throughput = last_marginal < 3.0 * superphase;
   verdict(flat, "total slots linear in (k+D) log Delta log n");
   verdict(throughput,
           "marginal cost per broadcast ~ one superphase "
           "(the O(log Delta log n) throughput claim)");
+  json.pass(flat && throughput);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

@@ -8,6 +8,9 @@
 //  * the paper's own coupling: ONE random move sequence applied to the
 //    three initial partitions b <= k <= a (Lemma 4.8 gives the pathwise
 //    order T(b) <= T(k) <= T(a) on every draw, no statistical slack).
+//
+// The 2700 (D, k, rep) trials shard across --jobs threads; streams keep
+// the historical tags so means and violation counts match the serial run.
 
 #include <vector>
 
@@ -24,7 +27,9 @@ using namespace radiomc;
 using namespace radiomc::bench;
 using namespace radiomc::queueing;
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   header("E8: Theorem 4.15 model chain",
          "E[T1] <= E[T2] <= E[T3] <= E[T4] (phases); coupled runs are "
          "pathwise-ordered");
@@ -32,64 +37,127 @@ int main() {
   Rng rng(0xE8);
   const double mu = mu_decay();
   const double lambda = mu / 2;
-  Table t({"D", "k", "model1", "model2", "model3", "model4",
-           "coupled 2<=3<=4"});
-  bool all_ok = true;
-  for (std::uint32_t d : {6u, 12u, 24u}) {
-    const Graph g = gen::path(d + 1);
-    const BfsTree tree = oracle_bfs_tree(g, 0);
-    for (std::uint64_t k : {8u, 24u, 64u}) {
-      OnlineStats t1, t2, t3, t4;
-      const int reps_radio = 12;
-      const int reps_fast = 300;
-      std::uint64_t coupled_violations = 0;
-      for (int rep = 0; rep < reps_fast; ++rep) {
-        Rng r = rng.split(d * 1000 + k * 13 + rep);
+  constexpr int kRepsRadio = 12;
+  constexpr int kRepsFast = 300;
+
+  const std::vector<std::uint32_t> ds = {6u, 12u, 24u};
+  const std::vector<std::uint64_t> ks = {8u, 24u, 64u};
+  struct Cell {
+    std::uint32_t d;
+    std::uint64_t k;
+    const Graph* g;
+    const BfsTree* tree;
+  };
+  std::vector<Graph> graphs;
+  std::vector<BfsTree> trees;
+  graphs.reserve(ds.size());
+  trees.reserve(ds.size());
+  for (std::uint32_t d : ds) {
+    graphs.push_back(gen::path(d + 1));
+    trees.push_back(oracle_bfs_tree(graphs.back(), 0));
+  }
+  std::vector<Cell> cells;
+  for (std::size_t di = 0; di < ds.size(); ++di)
+    for (std::uint64_t k : ks)
+      cells.push_back({ds[di], k, &graphs[di], &trees[di]});
+
+  // Streams in the historical (d, k, rep) order.
+  std::vector<Rng> streams;
+  streams.reserve(cells.size() * kRepsFast);
+  for (const Cell& c : cells)
+    for (int rep = 0; rep < kRepsFast; ++rep)
+      streams.push_back(rng.split(c.d * 1000 + c.k * 13 + rep));
+
+  struct Trial {
+    double m1 = 0, m2 = 0, m3 = 0, m4 = 0;
+    bool has_m1 = false;
+    bool violation = false;
+  };
+  const auto trials =
+      run_indexed(streams.size(), opt.jobs, [&](std::uint64_t i) {
+        const Cell& c = cells[i / kRepsFast];
+        const int rep = static_cast<int>(i % kRepsFast);
+        const std::uint32_t d = c.d;
+        const std::uint64_t k = c.k;
+        Rng r = streams[i];
         std::vector<std::uint32_t> levels;
         std::vector<NodeId> sources;
-        for (std::uint64_t i = 0; i < k; ++i) {
+        for (std::uint64_t j = 0; j < k; ++j) {
           const std::uint32_t l =
               static_cast<std::uint32_t>(1 + r.next_below(d));
           levels.push_back(l);
           sources.push_back(static_cast<NodeId>(l));
         }
-        if (rep < reps_radio)
-          t1.add(static_cast<double>(
-              run_model1_phases(g, tree, sources, r.next())));
-        t2.add(static_cast<double>(run_model2(levels, d, mu, r)));
-        t3.add(static_cast<double>(run_model3(k, d, mu, lambda, r)));
-        t4.add(static_cast<double>(run_model4(k, d, mu, lambda, r)));
+        Trial out;
+        if (rep < kRepsRadio) {
+          out.has_m1 = true;
+          out.m1 = static_cast<double>(
+              run_model1_phases(*c.g, *c.tree, sources, r.next()));
+        }
+        out.m2 = static_cast<double>(run_model2(levels, d, mu, r));
+        out.m3 = static_cast<double>(run_model3(k, d, mu, lambda, r));
+        out.m4 = static_cast<double>(run_model4(k, d, mu, lambda, r));
 
         // Coupled check: identical move sequence, ordered partitions.
         Partition b(d + 1, 0), kk(d + 1, 0), a(d + 1, 0);
         for (std::uint32_t l : levels) ++b[l - 1];
         kk[d] = k;
-        for (std::uint32_t i = 0; i < d; ++i)
-          a[i] = sample_stationary_queue(lambda, mu, r);
+        for (std::uint32_t j = 0; j < d; ++j)
+          a[j] = sample_stationary_queue(lambda, mu, r);
         a[d] = k;
         const std::uint64_t horizon = 60'000;
         const auto ms = random_move_sequence(d + 1, mu, lambda, 4096, r);
         const std::uint64_t tb = completion_time(b, ms, horizon);
         const std::uint64_t tk = completion_time(kk, ms, horizon);
         const std::uint64_t ta = completion_time(a, ms, horizon);
-        if (!(tb <= tk && tk <= ta)) ++coupled_violations;
-      }
-      // Independent-run means carry sampling noise where the true gap is
-      // small (3 -> 4 at lambda = mu/2 differs by a few phases), hence the
-      // doubled confidence slack; the coupled column is exact.
-      const bool ok = t1.mean() <= t2.mean() + 2 * t2.ci_halfwidth() &&
-                      t2.mean() <= t3.mean() + 2 * t3.ci_halfwidth() &&
-                      t3.mean() <= t4.mean() + 2 * t4.ci_halfwidth() &&
-                      coupled_violations == 0;
-      all_ok = all_ok && ok;
-      t.row({num(std::uint64_t(d)), num(k), num(t1.mean(), 1),
-             num(t2.mean(), 1), num(t3.mean(), 1), num(t4.mean(), 1),
-             coupled_violations == 0 ? "0 violations"
-                                     : num(coupled_violations)});
+        out.violation = !(tb <= tk && tk <= ta);
+        return out;
+      });
+
+  Table t({"D", "k", "model1", "model2", "model3", "model4",
+           "coupled 2<=3<=4"});
+  JsonEmitter json("E8",
+                   "E[T1] <= E[T2] <= E[T3] <= E[T4]; coupled runs "
+                   "pathwise-ordered");
+  bool all_ok = true;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const Cell& c = cells[ci];
+    OnlineStats t1, t2, t3, t4;
+    std::uint64_t coupled_violations = 0;
+    for (int rep = 0; rep < kRepsFast; ++rep) {
+      const Trial& tr = trials[ci * kRepsFast + rep];
+      if (tr.has_m1) t1.add(tr.m1);
+      t2.add(tr.m2);
+      t3.add(tr.m3);
+      t4.add(tr.m4);
+      if (tr.violation) ++coupled_violations;
     }
+    // Independent-run means carry sampling noise where the true gap is
+    // small (3 -> 4 at lambda = mu/2 differs by a few phases), hence the
+    // doubled confidence slack; the coupled column is exact.
+    const bool ok = t1.mean() <= t2.mean() + 2 * t2.ci_halfwidth() &&
+                    t2.mean() <= t3.mean() + 2 * t3.ci_halfwidth() &&
+                    t3.mean() <= t4.mean() + 2 * t4.ci_halfwidth() &&
+                    coupled_violations == 0;
+    all_ok = all_ok && ok;
+    t.row({num(std::uint64_t(c.d)), num(c.k), num(t1.mean(), 1),
+           num(t2.mean(), 1), num(t3.mean(), 1), num(t4.mean(), 1),
+           coupled_violations == 0 ? "0 violations"
+                                   : num(coupled_violations)});
+    json.row({{"depth", c.d},
+              {"k", c.k},
+              {"model1_phases", t1.mean()},
+              {"model2_phases", t2.mean()},
+              {"model3_phases", t3.mean()},
+              {"model4_phases", t4.mean()},
+              {"coupled_violations", coupled_violations},
+              {"ok", ok}});
   }
+  t.print();
   verdict(all_ok,
           "chain holds: exactly (coupled) and in independent means (within "
           "confidence intervals)");
+  json.pass(all_ok);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

@@ -4,10 +4,13 @@
 //     p_1 = lambda p_0 / ((1-lambda) mu), geometric tail;
 //   * mean queue length N = lambda(1-lambda)/(mu-lambda);
 //   * Theorem 4.2: the departure process is Bernoulli(lambda) — measured
-//     via its rate and its consecutive-departure rate lambda^2;
+//    via its rate and its consecutive-departure rate lambda^2;
 //   * in a tandem, *every* server sees Bernoulli(lambda) input (the key
-//     §4.3 observation), checked by measuring the queue law at depth 1, 3
-//     and 5 of a 6-deep tandem.
+//    §4.3 observation), checked by measuring the queue law at depth 1, 3
+//    and 5 of a 6-deep tandem.
+//
+// Inherently serial: each section is one long Markov chain whose state
+// carries across samples, so --jobs is accepted but has nothing to shard.
 
 #include "common.h"
 #include "queueing/analysis.h"
@@ -19,11 +22,17 @@ using namespace radiomc;
 using namespace radiomc::bench;
 using namespace radiomc::queueing;
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   header("E9: Hsu-Burke single server + tandem propagation",
          "stationary p_j matches the closed form; departures are "
          "Bernoulli(lambda) at every stage");
 
+  JsonEmitter json("E9",
+                   "Hsu-Burke queue law, Bernoulli departures, Little's "
+                   "law at every tandem stage");
+  bool pass = true;
   const double mu = 0.5, lambda = 0.25;
   {
     BernoulliServer srv(lambda, mu, Rng(0xE91));
@@ -36,7 +45,12 @@ int main() {
       ok = ok && std::abs(emp - cf) < 0.01;
       t.row({num(std::uint64_t(j)), num(emp, 4), num(cf, 4),
              num(std::abs(emp - cf), 4)});
+      json.row({{"section", "single_server"},
+                {"j", j},
+                {"empirical_pj", emp},
+                {"closed_form_pj", cf}});
     }
+    t.print();
     verdict(ok, "queue-length law matches Hsu-Burke within 0.01");
     std::printf("   mean queue: measured %s vs formula %s\n",
                 num(stats.queue_lengths.mean(), 4).c_str(),
@@ -48,9 +62,15 @@ int main() {
                 "(lambda^2=%.4f)\n",
                 num(rate, 4).c_str(), lambda, num(pair, 4).c_str(),
                 lambda * lambda);
-    verdict(std::abs(rate - lambda) < 0.005 &&
-                std::abs(pair - lambda * lambda) < 0.005,
+    const bool dep_ok = std::abs(rate - lambda) < 0.005 &&
+                        std::abs(pair - lambda * lambda) < 0.005;
+    verdict(dep_ok,
             "Theorem 4.2: departure process behaves as Bernoulli(lambda)");
+    json.row({{"section", "departures"},
+              {"rate", rate},
+              {"consecutive_rate", pair},
+              {"lambda", lambda}});
+    pass = pass && ok && dep_ok;
   }
 
   // Tandem: the queue law must be the same at every depth.
@@ -75,9 +95,17 @@ int main() {
            std::abs(h3.pmf(j) - cf) < 0.015 && std::abs(h5.pmf(j) - cf) < 0.015;
       t.row({num(std::uint64_t(j)), num(h1.pmf(j), 4), num(h3.pmf(j), 4),
              num(h5.pmf(j), 4), num(cf, 4)});
+      json.row({{"section", "tandem_law"},
+                {"j", j},
+                {"stage1_pj", h1.pmf(j)},
+                {"stage3_pj", h3.pmf(j)},
+                {"stage5_pj", h5.pmf(j)},
+                {"closed_form_pj", cf}});
     }
+    t.print();
     verdict(ok, "every tandem stage sees the same Bernoulli(lambda) input "
                 "(the §4.3 'major observation')");
+    pass = pass && ok;
   }
 
   // Little's law, measured on tagged customers: per-stage mean sojourn
@@ -95,9 +123,17 @@ int main() {
       ok = ok && std::abs(q.sojourn(s).mean() - predicted) < 0.15;
       t.row({num(std::uint64_t(s + 1)), num(q.sojourn(s).mean(), 3),
              num(predicted, 3)});
+      json.row({{"section", "littles_law"},
+                {"stage", s + 1},
+                {"mean_sojourn", q.sojourn(s).mean()},
+                {"predicted", predicted}});
     }
+    t.print();
     verdict(ok, "mean sojourn = (1-lambda)/(mu-lambda) at every stage "
                 "(Little [14], as used in §4.3)");
+    pass = pass && ok;
   }
+  json.pass(pass);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return 0;
 }

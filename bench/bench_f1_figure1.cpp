@@ -8,9 +8,13 @@
 // This binary executes the scenario for every transmitter subset and
 // prints the slot-by-slot outcome, demonstrating the contradiction is
 // vacuous (the bad case never materializes) and the ack is deterministic.
+//
+// Fully deterministic (no RNG) and tiny; --jobs is accepted for harness
+// uniformity only.
 
 #include <cstdio>
 
+#include "common.h"
 #include "graph/graph.h"
 #include "radio/network.h"
 #include "radio/station.h"
@@ -19,6 +23,7 @@
 #include <memory>
 
 using namespace radiomc;
+using namespace radiomc::bench;
 
 namespace {
 
@@ -57,12 +62,17 @@ class Probe final : public Station {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  RunTimer timer;
   std::printf("== F1: Figure 1 / Theorem 3.1 scenario ==\n");
   std::printf("   graph: u(0)-v(1), u'(2)-v'(3), cross edges u-v', u'-v\n\n");
   const Graph g(4, {{0, 1}, {2, 3}, {0, 3}, {2, 1}});
   const char* names[4] = {"u ", "v ", "u'", "v'"};
 
+  JsonEmitter json("F1",
+                   "Theorem 3.1: every received message is acknowledged "
+                   "with certainty");
   bool theorem_holds = true;
   for (int mask = 0; mask < 4; ++mask) {
     std::deque<Probe> probes(4);
@@ -81,6 +91,7 @@ int main() {
 
     std::printf("   transmitters:%s%s%s\n", (mask & 1) ? " u->v" : "",
                 (mask & 2) ? " u'->v'" : "", mask == 0 ? " (none)" : "");
+    bool mask_ok = true;
     for (NodeId i = 0; i < 4; ++i) {
       const Probe& p = probes[i];
       if (p.sends)
@@ -90,12 +101,22 @@ int main() {
                         ? (p.got_ack ? "received, ACKED (Thm 3.1)"
                                      : "received, ACK LOST (!!)")
                         : "collided (silence, no false ack)");
-      if (p.sends && probes[p.designated].got_data && !p.got_ack)
+      if (p.sends && probes[p.designated].got_data && !p.got_ack) {
         theorem_holds = false;
+        mask_ok = false;
+      }
     }
+    json.row({{"mask", mask},
+              {"u_sends", (mask & 1) != 0},
+              {"uprime_sends", (mask & 2) != 0},
+              {"v_got_data", probes[1].got_data},
+              {"vprime_got_data", probes[3].got_data},
+              {"every_reception_acked", mask_ok}});
   }
   std::printf("\n   [%s] every received message was acknowledged with "
               "certainty\n",
               theorem_holds ? "SHAPE OK" : "MISMATCH");
+  json.pass(theorem_holds);
+  json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());
   return theorem_holds ? 0 : 1;
 }

@@ -61,6 +61,10 @@ void Histogram::add(std::int64_t value, std::uint64_t weight) {
   total_ += weight;
 }
 
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [value, weight] : other.buckets_) add(value, weight);
+}
+
 std::uint64_t Histogram::count(std::int64_t value) const {
   auto it = buckets_.find(value);
   return it == buckets_.end() ? 0 : it->second;

@@ -48,6 +48,10 @@ class Histogram {
  public:
   void add(std::int64_t value, std::uint64_t weight = 1);
 
+  /// Adds every bucket of `other`; exact (integer weights), so merging
+  /// per-trial histograms in any order equals one shared histogram.
+  void merge(const Histogram& other);
+
   std::uint64_t total() const noexcept { return total_; }
   std::uint64_t count(std::int64_t value) const;
   /// Empirical probability of `value`.

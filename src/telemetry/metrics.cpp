@@ -33,6 +33,11 @@ void Distribution::add(std::int64_t v, std::uint64_t weight) {
   hist_.add(scale_ == Scale::kLog2 ? log2_bucket(v) : v, weight);
 }
 
+void Distribution::merge(const Distribution& other) {
+  stats_.merge(other.stats_);
+  hist_.merge(other.hist_);
+}
+
 std::string MetricsRegistry::series_key(std::string_view name,
                                         const Labels& labels) {
   std::string key(name);
@@ -85,6 +90,15 @@ Distribution& MetricsRegistry::distribution(std::string_view name,
              .first;
   }
   return *it->second.metric;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, s] : other.counters_)
+    counter(s.name, s.labels).inc(s.metric->value());
+  for (const auto& [key, s] : other.gauges_)
+    gauge(s.name, s.labels).set(s.metric->value());
+  for (const auto& [key, s] : other.distributions_)
+    distribution(s.name, s.labels, s.metric->scale()).merge(*s.metric);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

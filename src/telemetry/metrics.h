@@ -65,6 +65,11 @@ class Distribution {
 
   void add(std::int64_t v, std::uint64_t weight = 1);
 
+  /// Folds `other`'s samples in (moment merge + exact bucket addition).
+  /// Both sides must use the same scale — bucket keys are incomparable
+  /// otherwise.
+  void merge(const Distribution& other);
+
   Scale scale() const noexcept { return scale_; }
   const OnlineStats& stats() const noexcept { return stats_; }
   /// Buckets keyed per `scale()`: the value itself (linear) or the log2
@@ -115,6 +120,14 @@ class MetricsRegistry {
   std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + distributions_.size();
   }
+
+  /// Folds `other` in series-by-series: counters add, gauges take
+  /// `other`'s value (last writer wins, so merging trials in trial order
+  /// reproduces the serial outcome), distributions merge samples. The
+  /// post-hoc aggregation path for per-trial registries — trials never
+  /// share a registry, so protocol code stays single-threaded and
+  /// lock-free.
+  void merge(const MetricsRegistry& other);
 
   /// Deterministic order: sorted by (name, labels).
   MetricsSnapshot snapshot() const;

@@ -51,6 +51,13 @@ class PhaseTimeline {
   void close(std::size_t index, SlotTime end) { spans_[index].end = end; }
   PhaseSpan& at(std::size_t index) { return spans_[index]; }
 
+  /// Appends every span of `other` in its recording order. Slot times are
+  /// kept as recorded — each trial has its own network clock — so callers
+  /// that interleave runs should tag spans (see Telemetry::merge).
+  void merge(const PhaseTimeline& other) {
+    spans_.insert(spans_.end(), other.spans_.begin(), other.spans_.end());
+  }
+
   const std::vector<PhaseSpan>& spans() const noexcept { return spans_; }
   bool empty() const noexcept { return spans_.empty(); }
 

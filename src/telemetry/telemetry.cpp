@@ -6,6 +6,18 @@
 
 namespace radiomc::telemetry {
 
+void Telemetry::merge(const Telemetry& other, std::int64_t trial) {
+  metrics.merge(other.metrics);
+  if (trial < 0) {
+    timeline.merge(other.timeline);
+    return;
+  }
+  for (PhaseSpan span : other.timeline.spans()) {
+    span.attrs.emplace_back("trial", trial);
+    timeline.record(std::move(span));
+  }
+}
+
 std::string Telemetry::to_json() const {
   std::string out;
   JsonWriter w(&out);

@@ -21,6 +21,14 @@ struct Telemetry {
   MetricsRegistry metrics;
   PhaseTimeline timeline;
 
+  /// Folds a per-trial hub into this one: metrics merge series-by-series
+  /// and the trial's spans are appended (tagged with a {"trial", trial}
+  /// attribute when `trial >= 0`, since each trial restarts its slot
+  /// clock at 0). Merging trials 0..n-1 in trial order yields the same
+  /// document regardless of how many threads ran them — the aggregation
+  /// half of the deterministic trial-runner contract (support/parallel.h).
+  void merge(const Telemetry& other, std::int64_t trial = -1);
+
   /// {"schema":"radiomc.telemetry/v1","metrics":{...},"phases":[...]}
   std::string to_json() const;
 

@@ -17,6 +17,14 @@
 //                        spans and per-level histograms after the run
 //   --trace-out FILE     stream physical events as JSONL during the run
 //   --trace-agg N        add per-N-slot aggregate lines to the trace
+//
+// Repetition (setup/flood/collect/p2p/broadcast):
+//   --trials N           run N independent trials; trial t's seed derives
+//                        from root.split(t), so results depend only on
+//                        --seed, never on scheduling
+//   --jobs J             threads for --trials (0 = all cores; also the
+//                        RADIOMC_JOBS env var). Per-trial telemetry is
+//                        merged in trial order, spans tagged trial=t.
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +47,7 @@
 #include "protocols/ranking.h"
 #include "protocols/setup.h"
 #include "protocols/tree.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/util.h"
 #include "telemetry/jsonl_sink.h"
@@ -98,6 +107,10 @@ int usage() {
       "                --metrics-out FILE  (JSON metrics + phase timeline)\n"
       "                --trace-out FILE    (JSONL physical-event trace)\n"
       "                --trace-agg N       (per-N-slot aggregate lines)\n"
+      "                --trials N          (independent repetitions; "
+      "setup/flood/collect/p2p/broadcast)\n"
+      "                --jobs J            (threads for --trials; 0 = all "
+      "cores; env RADIOMC_JOBS)\n"
       "topology spec: %s\n",
       gen::spec_grammar().c_str());
   return 2;
@@ -152,24 +165,94 @@ struct World {
 
 /// `trace_setup`: attach the physical-event sink to the setup run itself
 /// (the `setup` command); other commands trace only their own protocol so
-/// slot timestamps in the trace refer to one network clock.
-World make_world(const Args& a, bool need_setup, Obs* obs = nullptr,
-                 bool trace_setup = false) {
-  Rng rng(a.get_u64("seed", 1));
+/// slot timestamps in the trace refer to one network clock. `seed` stands
+/// in for --seed so each --trials repetition builds its own world.
+World make_world(const Args& a, std::uint64_t seed, bool need_setup,
+                 telemetry::Telemetry* tel = nullptr,
+                 TraceSink* setup_trace = nullptr) {
+  Rng rng(seed);
   World w;
   w.g = gen::from_spec(a.get("topology", ""), rng);
   if (need_setup) {
     SetupTuning tuning;
     tuning.random_id_bits =
         static_cast<std::uint32_t>(a.get_u64("anon", 0));
-    if (obs != nullptr) {
-      tuning.telemetry = &obs->tel;
-      if (trace_setup) tuning.trace = obs->trace();
-    }
+    tuning.telemetry = tel;
+    tuning.trace = setup_trace;
     w.setup = run_setup(w.g, rng.next(), tuning);
     require(w.setup.ok, "setup failed");
   }
   return w;
+}
+
+template <typename... A>
+std::string strf(const char* f, A... args) {
+  char buf[768];
+  std::snprintf(buf, sizeof buf, f, args...);
+  return std::string(buf);
+}
+
+/// One repetition of a command: exit code plus its (buffered) report. The
+/// report is printed by the caller so multi-trial stdout stays in trial
+/// order regardless of the thread schedule.
+struct TrialOut {
+  int rc = 0;
+  std::string report;
+};
+
+using CoreFn = TrialOut (*)(const Args&, std::uint64_t seed,
+                            telemetry::Telemetry* tel, TraceSink* trace);
+
+/// Dispatch for the trial-parallel commands. Without --trials this is the
+/// historical single-run path, byte for byte. With --trials N, trial t's
+/// seed derives from root.split(t) (root seeded by --seed), each trial
+/// records into a private Telemetry, and the hubs merge in trial order —
+/// so metrics, spans and stdout depend only on the seed, never on --jobs.
+int run_cmd(const Args& a, CoreFn core) {
+  Obs obs = Obs::from_args(a);
+  const std::uint64_t trials = a.get_u64("trials", 1);
+  if (trials <= 1) {
+    const TrialOut out = core(a, a.get_u64("seed", 1), &obs.tel, obs.trace());
+    std::fputs(out.report.c_str(), stdout);
+    return obs.finish(out.rc);
+  }
+  require(!obs.sink,
+          "--trace-out is incompatible with --trials: one physical-event "
+          "trace cannot interleave independent runs (use --metrics-out)");
+  unsigned jobs = jobs_from_env(1);
+  if (a.has("jobs")) {
+    jobs = static_cast<unsigned>(a.get_u64("jobs", 1));
+    if (jobs == 0) jobs = hardware_jobs();
+  }
+  Rng root(a.get_u64("seed", 1));
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(trials);
+  for (std::uint64_t t = 0; t < trials; ++t)
+    seeds.push_back(root.split(t).next());
+  struct Slot {
+    int rc = 0;
+    std::string report;
+    std::unique_ptr<telemetry::Telemetry> tel;
+  };
+  const auto outs = run_indexed(trials, jobs, [&](std::uint64_t t) {
+    Slot s;
+    s.tel = std::make_unique<telemetry::Telemetry>();
+    const TrialOut out = core(a, seeds[t], s.tel.get(), nullptr);
+    s.rc = out.rc;
+    s.report = out.report;
+    return s;
+  });
+  std::uint64_t failures = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    std::printf("[trial %llu] %s", static_cast<unsigned long long>(t),
+                outs[t].report.c_str());
+    if (outs[t].rc != 0) ++failures;
+    obs.tel.merge(*outs[t].tel, static_cast<std::int64_t>(t));
+  }
+  std::printf("%llu/%llu trials ok (jobs=%u)\n",
+              static_cast<unsigned long long>(trials - failures),
+              static_cast<unsigned long long>(trials), jobs);
+  return obs.finish(failures == 0 ? 0 : 1);
 }
 
 int cmd_topo(const Args& a) {
@@ -204,7 +287,7 @@ int cmd_topo(const Args& a) {
 
 int cmd_steady(const Args& a) {
   Obs obs = Obs::from_args(a);
-  World w = make_world(a, true, &obs);
+  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel);
   Rng rng(a.get_u64("seed", 1) ^ 0xB5);
   const double mu = queueing::mu_decay();
   const double lambda =
@@ -235,49 +318,56 @@ int cmd_steady(const Args& a) {
   return obs.finish(0);
 }
 
-int cmd_setup(const Args& a) {
-  Obs obs = Obs::from_args(a);
-  const World w = make_world(a, true, &obs, /*trace_setup=*/true);
-  std::printf("setup on %s: leader=%u depth=%u attempts=%u\n",
-              a.get("topology", "").c_str(), w.setup.leader,
-              w.setup.tree.depth, w.setup.attempts);
-  std::printf("  schedule slots = %llu\n",
-              static_cast<unsigned long long>(w.setup.slots));
-  std::printf("  work slots     = %llu\n",
-              static_cast<unsigned long long>(w.setup.work_slots));
-  std::printf("  BFS tree valid = %s\n",
-              is_bfs_tree_of(w.g, w.setup.tree) ? "yes" : "NO");
-  return obs.finish(0);
+TrialOut setup_core(const Args& a, std::uint64_t seed,
+                    telemetry::Telemetry* tel, TraceSink* trace) {
+  const World w = make_world(a, seed, true, tel, /*setup_trace=*/trace);
+  TrialOut out;
+  out.report = strf("setup on %s: leader=%u depth=%u attempts=%u\n",
+                    a.get("topology", "").c_str(), w.setup.leader,
+                    w.setup.tree.depth, w.setup.attempts);
+  out.report += strf("  schedule slots = %llu\n",
+                     static_cast<unsigned long long>(w.setup.slots));
+  out.report += strf("  work slots     = %llu\n",
+                     static_cast<unsigned long long>(w.setup.work_slots));
+  out.report += strf("  BFS tree valid = %s\n",
+                     is_bfs_tree_of(w.g, w.setup.tree) ? "yes" : "NO");
+  return out;
 }
 
-int cmd_flood(const Args& a) {
-  Obs obs = Obs::from_args(a);
-  Rng rng(a.get_u64("seed", 1));
+int cmd_setup(const Args& a) { return run_cmd(a, setup_core); }
+
+TrialOut flood_core(const Args& a, std::uint64_t seed,
+                    telemetry::Telemetry* tel, TraceSink*) {
+  Rng rng(seed);
   const Graph g = gen::from_spec(a.get("topology", ""), rng);
   const NodeId source = static_cast<NodeId>(a.get_u64("source", 0));
   const std::uint64_t phases =
       4 * (diameter(g) + 2 * ceil_log2(g.num_nodes()) + 4);
   const auto out = run_bgi_broadcast(g, source, phases, rng.next());
-  std::printf("BGI flood from %u: informed %u/%u in %llu slots\n", source,
-              out.informed_count, g.num_nodes(),
-              static_cast<unsigned long long>(out.slots));
-  obs.tel.timeline.record(
+  TrialOut r;
+  r.report = strf("BGI flood from %u: informed %u/%u in %llu slots\n", source,
+                  out.informed_count, g.num_nodes(),
+                  static_cast<unsigned long long>(out.slots));
+  tel->timeline.record(
       "flood", "run", 0, out.slots,
       {{"informed", static_cast<std::int64_t>(out.informed_count)},
        {"n", static_cast<std::int64_t>(g.num_nodes())}});
-  obs.tel.metrics.counter("flood.informed").inc(out.informed_count);
-  telemetry::Distribution& at = obs.tel.metrics.distribution(
+  tel->metrics.counter("flood.informed").inc(out.informed_count);
+  telemetry::Distribution& at = tel->metrics.distribution(
       "flood.informed_at", {}, telemetry::Scale::kLog2);
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     if (out.informed[v])
       at.add(static_cast<std::int64_t>(out.informed_at[v]));
-  return obs.finish(out.informed_count == g.num_nodes() ? 0 : 1);
+  r.rc = out.informed_count == g.num_nodes() ? 0 : 1;
+  return r;
 }
 
-int cmd_collect(const Args& a) {
-  Obs obs = Obs::from_args(a);
-  World w = make_world(a, true, &obs);
-  Rng rng(a.get_u64("seed", 1) ^ 0xC0);
+int cmd_flood(const Args& a) { return run_cmd(a, flood_core); }
+
+TrialOut collect_core(const Args& a, std::uint64_t seed,
+                      telemetry::Telemetry* tel, TraceSink* trace) {
+  World w = make_world(a, seed, true, tel);
+  Rng rng(seed ^ 0xC0);
   const std::uint64_t k = a.get_u64("k", 16);
   std::vector<Message> init;
   for (std::uint64_t i = 0; i < k; ++i) {
@@ -290,21 +380,26 @@ int cmd_collect(const Args& a) {
   }
   CollectionConfig cfg = CollectionConfig::for_graph(w.g);
   if (a.has("no-mod3")) cfg.slots.mod3_gating = false;
-  cfg.telemetry = &obs.tel;
-  cfg.trace = obs.trace();
+  cfg.telemetry = tel;
+  cfg.trace = trace;
   const auto out = run_collection(w.g, w.setup.tree, init, cfg, rng.next());
-  std::printf("collection of %llu messages: %s in %llu slots (%llu phases)\n",
-              static_cast<unsigned long long>(k),
-              out.completed ? "complete" : "INCOMPLETE",
-              static_cast<unsigned long long>(out.slots),
-              static_cast<unsigned long long>(out.phases));
-  return obs.finish(out.completed ? 0 : 1);
+  TrialOut r;
+  r.report =
+      strf("collection of %llu messages: %s in %llu slots (%llu phases)\n",
+           static_cast<unsigned long long>(k),
+           out.completed ? "complete" : "INCOMPLETE",
+           static_cast<unsigned long long>(out.slots),
+           static_cast<unsigned long long>(out.phases));
+  r.rc = out.completed ? 0 : 1;
+  return r;
 }
 
-int cmd_p2p(const Args& a) {
-  Obs obs = Obs::from_args(a);
-  World w = make_world(a, true, &obs);
-  Rng rng(a.get_u64("seed", 1) ^ 0xB1);
+int cmd_collect(const Args& a) { return run_cmd(a, collect_core); }
+
+TrialOut p2p_core(const Args& a, std::uint64_t seed,
+                  telemetry::Telemetry* tel, TraceSink* trace) {
+  World w = make_world(a, seed, true, tel);
+  Rng rng(seed ^ 0xB1);
   const std::uint64_t k = a.get_u64("k", 16);
   PreparationResult prep;
   prep.ok = true;
@@ -315,42 +410,50 @@ int cmd_p2p(const Args& a) {
     reqs.push_back({static_cast<NodeId>(rng.next_below(w.g.num_nodes())),
                     static_cast<NodeId>(rng.next_below(w.g.num_nodes())), i});
   P2pConfig pcfg = P2pConfig::for_graph(w.g);
-  pcfg.telemetry = &obs.tel;
-  pcfg.trace = obs.trace();
+  pcfg.telemetry = tel;
+  pcfg.trace = trace;
   const auto out = run_point_to_point(w.g, prep, reqs, pcfg, rng.next());
-  std::printf("p2p: %llu/%llu delivered in %llu slots\n",
-              static_cast<unsigned long long>(out.delivered),
-              static_cast<unsigned long long>(k),
-              static_cast<unsigned long long>(out.slots));
-  return obs.finish(out.completed ? 0 : 1);
+  TrialOut r;
+  r.report = strf("p2p: %llu/%llu delivered in %llu slots\n",
+                  static_cast<unsigned long long>(out.delivered),
+                  static_cast<unsigned long long>(k),
+                  static_cast<unsigned long long>(out.slots));
+  r.rc = out.completed ? 0 : 1;
+  return r;
 }
 
-int cmd_broadcast(const Args& a) {
-  Obs obs = Obs::from_args(a);
-  World w = make_world(a, true, &obs);
-  Rng rng(a.get_u64("seed", 1) ^ 0xB2);
+int cmd_p2p(const Args& a) { return run_cmd(a, p2p_core); }
+
+TrialOut broadcast_core(const Args& a, std::uint64_t seed,
+                        telemetry::Telemetry* tel, TraceSink* trace) {
+  World w = make_world(a, seed, true, tel);
+  Rng rng(seed ^ 0xB2);
   const std::uint64_t k = a.get_u64("k", 16);
   BroadcastServiceConfig cfg = BroadcastServiceConfig::for_graph(w.g);
   cfg.distribution.window =
       static_cast<std::uint32_t>(a.get_u64("window", 0));
-  cfg.telemetry = &obs.tel;
-  cfg.trace = obs.trace();
+  cfg.telemetry = tel;
+  cfg.trace = trace;
   std::vector<NodeId> sources;
   for (std::uint64_t i = 0; i < k; ++i)
     sources.push_back(static_cast<NodeId>(rng.next_below(w.g.num_nodes())));
   const auto out =
       run_k_broadcast(w.g, w.setup.tree, sources, cfg, rng.next());
-  std::printf("k-broadcast of %llu: %s in %llu slots (%llu resends)\n",
-              static_cast<unsigned long long>(k),
-              out.completed ? "complete" : "INCOMPLETE",
-              static_cast<unsigned long long>(out.slots),
-              static_cast<unsigned long long>(out.root_resends));
-  return obs.finish(out.completed ? 0 : 1);
+  TrialOut r;
+  r.report = strf("k-broadcast of %llu: %s in %llu slots (%llu resends)\n",
+                  static_cast<unsigned long long>(k),
+                  out.completed ? "complete" : "INCOMPLETE",
+                  static_cast<unsigned long long>(out.slots),
+                  static_cast<unsigned long long>(out.root_resends));
+  r.rc = out.completed ? 0 : 1;
+  return r;
 }
+
+int cmd_broadcast(const Args& a) { return run_cmd(a, broadcast_core); }
 
 int cmd_ranking(const Args& a) {
   Obs obs = Obs::from_args(a);
-  World w = make_world(a, true, &obs);
+  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel);
   Rng rng(a.get_u64("seed", 1) ^ 0xB3);
   PreparationResult prep;
   prep.ok = true;
@@ -371,7 +474,7 @@ int cmd_ranking(const Args& a) {
 
 int cmd_ethernet(const Args& a) {
   Obs obs = Obs::from_args(a);
-  World w = make_world(a, true, &obs);
+  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel);
   Rng rng(a.get_u64("seed", 1) ^ 0xB4);
   const std::uint32_t frames =
       static_cast<std::uint32_t>(a.get_u64("frames", 1));
