@@ -1,0 +1,40 @@
+#include "faults/fault_plan.h"
+
+#include "support/util.h"
+
+namespace radiomc {
+
+namespace {
+bool in_unit(double p) { return p >= 0.0 && p <= 1.0; }
+}  // namespace
+
+void FaultPlan::validate() const {
+  require(in_unit(crash_rate), "FaultPlan: crash_rate must be in [0, 1]");
+  require(in_unit(recover_rate), "FaultPlan: recover_rate must be in [0, 1]");
+  require(in_unit(link_down_rate),
+          "FaultPlan: link_down_rate must be in [0, 1]");
+  require(in_unit(link_up_rate), "FaultPlan: link_up_rate must be in [0, 1]");
+  require(in_unit(jam_prob), "FaultPlan: jam_prob must be in [0, 1]");
+  require(in_unit(drop_prob), "FaultPlan: drop_prob must be in [0, 1]");
+  require(epoch_slots >= 1, "FaultPlan: epoch_slots must be >= 1");
+  require(recover_rate == 0.0 || crash_rate > 0.0,
+          "FaultPlan: recover_rate without crash_rate is contradictory");
+  require(link_up_rate == 0.0 || link_down_rate > 0.0,
+          "FaultPlan: link_up_rate without link_down_rate is contradictory");
+  require(window_end > window_start,
+          "FaultPlan: fault window is empty (window_end <= window_start)");
+}
+
+const char* to_string(RunStatus s) noexcept {
+  switch (s) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kDegraded:
+      return "degraded";
+    case RunStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace radiomc

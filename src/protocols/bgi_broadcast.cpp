@@ -55,7 +55,8 @@ void FloodStation::tick(SlotTime) {
 }
 
 BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
-                             std::uint64_t phases, std::uint64_t seed) {
+                             std::uint64_t phases, std::uint64_t seed,
+                             const FaultPlan& faults) {
   const NodeId n = g.num_nodes();
   require(source < n, "run_bgi_broadcast: source out of range");
   const std::uint32_t dl = decay_length(g.max_degree());
@@ -77,6 +78,11 @@ BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
   for (auto& a : adapters) ptrs.push_back(&a);
 
   RadioNetwork net(g);
+  FaultSchedule fsch;
+  if (faults.any()) {
+    fsch = FaultSchedule(g, faults, master.split(kFaultStreamTag).next());
+    net.set_faults(&fsch);
+  }
   net.attach(std::move(ptrs));
   net.run(phases * dl);
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "faults/fault_plan.h"
 #include "protocols/decay.h"
 #include "radio/network.h"
 #include "radio/schedule.h"
@@ -62,7 +63,11 @@ struct BgiOutcome {
   std::vector<bool> informed;
   std::vector<SlotTime> informed_at;  ///< meaningful where informed
 };
+/// `faults`: optional fault plan compiled against the flood network (the
+/// phase budget bounds the run, so no watchdog is needed; under faults the
+/// informed count simply reports the partial coverage).
 BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
-                             std::uint64_t phases, std::uint64_t seed);
+                             std::uint64_t phases, std::uint64_t seed,
+                             const FaultPlan& faults = {});
 
 }  // namespace radiomc

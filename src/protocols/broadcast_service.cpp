@@ -85,6 +85,11 @@ BroadcastService::BroadcastService(const Graph& g, const BfsTree& tree,
   for (auto& m : muxes_) ptrs.push_back(m.get());
   net_ = std::make_unique<RadioNetwork>(g, ncfg);
   if (cfg.trace != nullptr) net_->set_trace(cfg.trace);
+  if (cfg.faults.any()) {
+    faults_ = std::make_unique<FaultSchedule>(
+        g, cfg.faults, master.split(kFaultStreamTag).next());
+    net_->set_faults(faults_.get());
+  }
   net_->attach(std::move(ptrs));
 }
 
@@ -116,11 +121,31 @@ std::uint32_t BroadcastService::min_delivered_prefix() const {
 }
 
 bool BroadcastService::run_until_delivered(SlotTime max_slots) {
+  std::uint32_t progress_prefix = min_delivered_prefix();
+  SlotTime progress_slot = net_->now();
+  bool stalled = false;
   while (net_->now() < max_slots) {
-    if (min_delivered_prefix() >= originated_) return true;
+    if (min_delivered_prefix() >= originated_) {
+      status_ = RunStatus::kOk;
+      return true;
+    }
     net_->step();
+    if (cfg_.stall_slots > 0) {
+      const std::uint32_t prefix = min_delivered_prefix();
+      if (prefix > progress_prefix) {
+        progress_prefix = prefix;
+        progress_slot = net_->now();
+      } else if (net_->now() - progress_slot >= cfg_.stall_slots) {
+        stalled = true;
+        break;
+      }
+    }
   }
-  return min_delivered_prefix() >= originated_;
+  const bool done = min_delivered_prefix() >= originated_;
+  status_ = done      ? RunStatus::kOk
+            : stalled ? RunStatus::kDegraded
+                      : RunStatus::kFailed;
+  return done;
 }
 
 KBroadcastOutcome run_k_broadcast(const Graph& g, const BfsTree& tree,
@@ -132,8 +157,10 @@ KBroadcastOutcome run_k_broadcast(const Graph& g, const BfsTree& tree,
     svc.broadcast(sources[i], 0x42000000ULL + i);
   KBroadcastOutcome out;
   out.completed = svc.run_until_delivered(max_slots);
+  out.status = svc.status();
   out.slots = svc.now();
   out.root_resends = svc.distribution(tree.root).root_resends();
+  out.delivered_prefix = svc.min_delivered_prefix();
 
   if (cfg.telemetry != nullptr) {
     telemetry::Telemetry& tel = *cfg.telemetry;
@@ -150,6 +177,21 @@ KBroadcastOutcome run_k_broadcast(const Graph& g, const BfsTree& tree,
         .inc(root.root_idle_rebroadcasts());
     telemetry::publish_net_metrics(svc.metrics(), tel.metrics,
                                    "distribution");
+    if (svc.faults() != nullptr && svc.faults()->enabled()) {
+      const FaultSchedule& fsch = *svc.faults();
+      telemetry::publish_fault_metrics(fsch, svc.metrics(), tel.metrics,
+                                       "distribution");
+      tel.timeline.record(
+          "faults", "distribution", 0, out.slots,
+          {{"crashes", static_cast<std::int64_t>(fsch.stats().crashes)},
+           {"recoveries",
+            static_cast<std::int64_t>(fsch.stats().recoveries)},
+           {"link_downs",
+            static_cast<std::int64_t>(fsch.stats().link_downs)},
+           {"jams", static_cast<std::int64_t>(svc.metrics().fault_jams)},
+           {"drops", static_cast<std::int64_t>(svc.metrics().fault_drops)},
+           {"degraded", out.status == RunStatus::kDegraded ? 1 : 0}});
+    }
   }
   return out;
 }

@@ -40,6 +40,16 @@ struct BroadcastServiceConfig {
   /// Optional physical-event sink installed on the service's network.
   TraceSink* trace = nullptr;
 
+  /// Fault injection (src/faults/), compiled by the service against the
+  /// graph and a stream split off the seed. The per-protocol plans inside
+  /// `collection` / `distribution` are ignored here — the service runs one
+  /// network, so it carries one schedule.
+  FaultPlan faults;
+  /// Progress watchdog for run_until_delivered: when > 0 and the minimum
+  /// delivered prefix has not advanced for this many slots, stop with
+  /// RunStatus::kDegraded. 0 = off.
+  SlotTime stall_slots = 0;
+
   static BroadcastServiceConfig for_graph(const Graph& g) {
     BroadcastServiceConfig c;
     c.collection = CollectionConfig::for_graph(g);
@@ -63,8 +73,13 @@ class BroadcastService {
 
   void step();
   /// Runs until every node has delivered (in order) all broadcasts
-  /// originated so far, or `max_slots` pass. Returns success.
+  /// originated so far, or `max_slots` pass, or the configured stall
+  /// watchdog fires. Returns success; `status()` has the structured
+  /// outcome afterwards.
   bool run_until_delivered(SlotTime max_slots);
+  RunStatus status() const noexcept { return status_; }
+  /// The service's fault schedule, or nullptr when faults are off.
+  const FaultSchedule* faults() const noexcept { return faults_.get(); }
 
   SlotTime now() const;
   std::uint64_t originated() const noexcept { return originated_; }
@@ -86,16 +101,29 @@ class BroadcastService {
   std::vector<std::unique_ptr<DistributionStation>> dist_;
   std::vector<std::unique_ptr<Station>> muxes_;
   std::unique_ptr<RadioNetwork> net_;
+  std::unique_ptr<FaultSchedule> faults_;
   std::vector<std::uint32_t> next_up_seq_;
   std::uint64_t originated_ = 0;
+  RunStatus status_ = RunStatus::kOk;
 };
 
 /// Driver for experiment E6: k broadcasts from random sources, all present
 /// at slot 0; measures time until every node delivered all of them.
 struct KBroadcastOutcome {
   bool completed = false;
+  /// kOk iff completed; kDegraded when the stall watchdog fired;
+  /// kFailed when max_slots ran out.
+  RunStatus status = RunStatus::kOk;
   SlotTime slots = 0;
   std::uint64_t root_resends = 0;
+  /// Broadcasts delivered to EVERY node (the service's min prefix); on a
+  /// degraded run this is the partial-progress measure (>= k iff
+  /// completed). Under crash faults it can exceed k: a station frozen
+  /// mid-retransmission can resurrect a stale copy whose mod-4W wire
+  /// sequence aliases to a phantom index past the frontier. The prefix
+  /// property still guarantees every real message below it was delivered —
+  /// exactly-once weakens to at-least-once, completeness survives.
+  std::uint32_t delivered_prefix = 0;
 };
 KBroadcastOutcome run_k_broadcast(const Graph& g, const BfsTree& tree,
                                   const std::vector<NodeId>& sources,

@@ -183,6 +183,13 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
 
   RadioNetwork net(g);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  FaultSchedule faults;
+  if (cfg.faults.any()) {
+    // Derived after the station splits, and only when a plan is active, so
+    // fault-free runs consume exactly the historical stream.
+    faults = FaultSchedule(g, cfg.faults, master.split(kFaultStreamTag).next());
+    net.set_faults(&faults);
+  }
   net.attach(std::move(ptrs));
 
   CollectionOutcome out;
@@ -223,12 +230,27 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
   };
 
   const CollectionStation* root = stations[tree.root].get();
+  std::size_t progress_count = root->root_sink().size();
+  SlotTime progress_slot = 0;
+  bool stalled = false;
   while (root->root_sink().size() < expected && net.now() < max_slots) {
     if (net.now() % slots_per_phase == 0)
       snapshot_occupancy(net.now() / slots_per_phase);
     net.step();
+    if (cfg.stall_slots > 0) {
+      if (root->root_sink().size() > progress_count) {
+        progress_count = root->root_sink().size();
+        progress_slot = net.now();
+      } else if (net.now() - progress_slot >= cfg.stall_slots) {
+        stalled = true;
+        break;
+      }
+    }
   }
   out.completed = root->root_sink().size() >= expected;
+  out.status = out.completed ? RunStatus::kOk
+               : stalled    ? RunStatus::kDegraded
+                            : RunStatus::kFailed;
   out.slots = net.now();
   out.phases = (net.now() + slots_per_phase - 1) / slots_per_phase;
   out.deliveries = root->root_sink();
@@ -269,6 +291,20 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
           .inc(out.advance_phases[l]);
     }
     telemetry::publish_net_metrics(net.metrics(), tel.metrics, "collection");
+    if (faults.enabled()) {
+      telemetry::publish_fault_metrics(faults, net.metrics(), tel.metrics,
+                                       "collection");
+      tel.timeline.record(
+          "faults", "collection", 0, out.slots,
+          {{"crashes", static_cast<std::int64_t>(faults.stats().crashes)},
+           {"recoveries",
+            static_cast<std::int64_t>(faults.stats().recoveries)},
+           {"link_downs",
+            static_cast<std::int64_t>(faults.stats().link_downs)},
+           {"jams", static_cast<std::int64_t>(net.metrics().fault_jams)},
+           {"drops", static_cast<std::int64_t>(net.metrics().fault_drops)},
+           {"degraded", out.status == RunStatus::kDegraded ? 1 : 0}});
+    }
   }
   return out;
 }

@@ -25,6 +25,7 @@
 #include <set>
 #include <vector>
 
+#include "faults/fault_plan.h"
 #include "protocols/decay.h"
 #include "protocols/tree.h"
 #include "radio/network.h"
@@ -53,6 +54,15 @@ struct CollectionConfig {
   TelemetryHub* telemetry = nullptr;
   /// Optional physical-event sink installed on the driver's network.
   TraceSink* trace = nullptr;
+
+  /// Fault injection (src/faults/): run_collection compiles this against
+  /// the graph and a stream split off the run seed. All-zero (the default)
+  /// means no faults and the engine's exact legacy behavior.
+  FaultPlan faults;
+  /// Progress watchdog: when > 0 and the root has received nothing for
+  /// this many slots, the driver stops with RunStatus::kDegraded instead
+  /// of burning the rest of max_slots. 0 = off.
+  SlotTime stall_slots = 0;
 
   static CollectionConfig for_graph(const Graph& g) {
     CollectionConfig c;
@@ -145,6 +155,9 @@ class CollectionStation final : public SubStation {
 /// the Theorem 4.1 experiment.
 struct CollectionOutcome {
   bool completed = false;
+  /// kOk iff completed; kDegraded when the stall watchdog fired;
+  /// kFailed when max_slots ran out.
+  RunStatus status = RunStatus::kOk;
   SlotTime slots = 0;
   std::uint64_t phases = 0;
   std::vector<CollectionStation::Delivery> deliveries;

@@ -129,8 +129,8 @@ void DistributionStation::on_superphase_boundary(std::uint64_t sp) {
     const Message& head = pending_.front();
     if (cfg_.window == 0 || head.seq < base_ + 2 * cfg_.window) {
       forwarding_ = head;
+      sent_hi_ = head.seq + 1;  // before pop_front invalidates `head`
       pending_.pop_front();
-      sent_hi_ = head.seq + 1;
     }
   }
   // Tail-loss repair: a node that missed the *last* message never sees a

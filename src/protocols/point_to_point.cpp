@@ -233,6 +233,11 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   ncfg.num_channels = 2;
   RadioNetwork net(g, ncfg);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  FaultSchedule faults;
+  if (cfg.faults.any()) {
+    faults = FaultSchedule(g, cfg.faults, master.split(kFaultStreamTag).next());
+    net.set_faults(&faults);
+  }
   net.attach(std::move(ptrs));
 
   P2pOutcome out;
@@ -247,8 +252,13 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
         const std::uint64_t tag =
             (static_cast<std::uint64_t>(d.msg.origin) << 32) | d.msg.seq;
         if (auto it = tag_to_request.find(tag); it != tag_to_request.end()) {
-          out.delivery_slot[it->second] = d.slot;
-          ++delivered;
+          // First copy only: a lost ack (fault injection) makes the sender
+          // retransmit an already-delivered message, and the radio level
+          // cannot deduplicate that — the end-to-end count must.
+          if (out.delivery_slot[it->second] == static_cast<SlotTime>(-1)) {
+            out.delivery_slot[it->second] = d.slot;
+            ++delivered;
+          }
         }
       }
       const auto& sd = downs[v]->sink();
@@ -257,19 +267,36 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
         const std::uint64_t tag =
             (static_cast<std::uint64_t>(d.msg.origin) << 32) | d.msg.seq;
         if (auto it = tag_to_request.find(tag); it != tag_to_request.end()) {
-          out.delivery_slot[it->second] = d.slot;
-          ++delivered;
+          if (out.delivery_slot[it->second] == static_cast<SlotTime>(-1)) {
+            out.delivery_slot[it->second] = d.slot;
+            ++delivered;
+          }
         }
       }
     }
   };
 
   harvest(0);  // self-addressed requests complete instantly
+  std::uint64_t progress_count = delivered;
+  SlotTime progress_slot = 0;
+  bool stalled = false;
   while (delivered < requests.size() && net.now() < max_slots) {
     net.step();
     harvest(net.now());
+    if (cfg.stall_slots > 0) {
+      if (delivered > progress_count) {
+        progress_count = delivered;
+        progress_slot = net.now();
+      } else if (net.now() - progress_slot >= cfg.stall_slots) {
+        stalled = true;
+        break;
+      }
+    }
   }
   out.completed = delivered >= requests.size();
+  out.status = out.completed ? RunStatus::kOk
+               : stalled    ? RunStatus::kDegraded
+                            : RunStatus::kFailed;
   out.slots = net.now();
   out.delivered = delivered;
 
@@ -289,6 +316,20 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
         lat.add(static_cast<std::int64_t>(s));
     telemetry::publish_net_metrics(net.metrics(), tel.metrics,
                                    "point_to_point");
+    if (faults.enabled()) {
+      telemetry::publish_fault_metrics(faults, net.metrics(), tel.metrics,
+                                       "point_to_point");
+      tel.timeline.record(
+          "faults", "point_to_point", 0, out.slots,
+          {{"crashes", static_cast<std::int64_t>(faults.stats().crashes)},
+           {"recoveries",
+            static_cast<std::int64_t>(faults.stats().recoveries)},
+           {"link_downs",
+            static_cast<std::int64_t>(faults.stats().link_downs)},
+           {"jams", static_cast<std::int64_t>(net.metrics().fault_jams)},
+           {"drops", static_cast<std::int64_t>(net.metrics().fault_drops)},
+           {"degraded", out.status == RunStatus::kDegraded ? 1 : 0}});
+    }
   }
   return out;
 }

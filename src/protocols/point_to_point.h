@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "faults/fault_plan.h"
 #include "protocols/decay.h"
 #include "protocols/dfs_numbering.h"
 #include "radio/network.h"
@@ -41,6 +42,12 @@ struct P2pConfig {
   TelemetryHub* telemetry = nullptr;
   /// Optional physical-event sink installed on the driver's network.
   TraceSink* trace = nullptr;
+
+  /// Fault injection (src/faults/); all-zero = no faults, legacy path.
+  FaultPlan faults;
+  /// Progress watchdog: when > 0 and no request completes for this many
+  /// slots, the driver stops with RunStatus::kDegraded. 0 = off.
+  SlotTime stall_slots = 0;
 
   static P2pConfig for_graph(const Graph& g) {
     P2pConfig c;
@@ -137,6 +144,9 @@ struct P2pRequest {
 
 struct P2pOutcome {
   bool completed = false;
+  /// kOk iff completed; kDegraded when the stall watchdog fired;
+  /// kFailed when max_slots ran out.
+  RunStatus status = RunStatus::kOk;
   SlotTime slots = 0;
   std::uint64_t delivered = 0;
   /// Per request: slot at which it reached its destination (or -1).

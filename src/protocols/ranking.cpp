@@ -13,7 +13,8 @@ namespace radiomc {
 RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
                            const std::vector<std::uint64_t>& app_ids,
                            std::uint64_t seed, SlotTime max_slots,
-                           TelemetryHub* telemetry) {
+                           TelemetryHub* telemetry, const FaultPlan& faults,
+                           SlotTime stall_slots) {
   const NodeId n = g.num_nodes();
   require(app_ids.size() == n, "run_ranking: one app id per node");
   require(prep.routing.size() == n, "run_ranking: bad preparation");
@@ -50,6 +51,8 @@ RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
   }
   CollectionConfig ccfg = CollectionConfig::for_graph(g);
   ccfg.telemetry = telemetry;
+  ccfg.faults = faults;
+  ccfg.stall_slots = stall_slots;
   const CollectionOutcome collected =
       run_collection(g, tree, initial, ccfg, seed, max_slots);
   out.collect_slots = collected.slots;
@@ -58,7 +61,10 @@ RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
         "ranking", "collect", 0, out.collect_slots,
         {{"n", static_cast<std::int64_t>(n)},
          {"completed", collected.completed ? 1 : 0}});
-  if (!collected.completed) return out;
+  if (!collected.completed) {
+    out.status = collected.status;
+    return out;
+  }
 
   // Root-side computation: sort ids, assign ranks 1..n.
   struct Entry {
@@ -105,14 +111,37 @@ RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
   RadioNetwork::Config ncfg;
   ncfg.num_channels = 2;
   RadioNetwork net(g, ncfg);
+  FaultSchedule fsch;
+  if (faults.any()) {
+    fsch = FaultSchedule(g, faults, master.split(kFaultStreamTag).next());
+    net.set_faults(&fsch);
+  }
   net.attach(std::move(ptrs));
 
   auto delivered = [&] {
+    // Each node awaits exactly one rank message; count nodes served, not
+    // sink entries — a lost ack (fault injection) duplicates a delivery,
+    // and raw entry counts would declare completion while a node starves.
     std::uint64_t c = 0;
-    for (NodeId v = 0; v < n; ++v) c += downs[v]->sink().size();
+    for (NodeId v = 0; v < n; ++v) c += downs[v]->sink().empty() ? 0 : 1;
     return c;
   };
-  while (delivered() < expected_downs && net.now() < max_slots) net.step();
+  std::uint64_t progress_count = delivered();
+  SlotTime progress_slot = 0;
+  bool stalled = false;
+  while (delivered() < expected_downs && net.now() < max_slots) {
+    net.step();
+    if (stall_slots > 0) {
+      const std::uint64_t c = delivered();
+      if (c > progress_count) {
+        progress_count = c;
+        progress_slot = net.now();
+      } else if (net.now() - progress_slot >= stall_slots) {
+        stalled = true;
+        break;
+      }
+    }
+  }
   out.deliver_slots = net.now();
   if (telemetry != nullptr) {
     telemetry->timeline.record(
@@ -122,8 +151,14 @@ RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
          {"completed", delivered() >= expected_downs ? 1 : 0}});
     telemetry::publish_net_metrics(net.metrics(), telemetry->metrics,
                                    "ranking_deliver");
+    if (fsch.enabled())
+      telemetry::publish_fault_metrics(fsch, net.metrics(),
+                                       telemetry->metrics, "ranking_deliver");
   }
-  if (delivered() < expected_downs) return out;
+  if (delivered() < expected_downs) {
+    out.status = stalled ? RunStatus::kDegraded : RunStatus::kFailed;
+    return out;
+  }
 
   for (NodeId v = 0; v < n; ++v)
     for (const auto& d : downs[v]->sink())

@@ -22,6 +22,9 @@ namespace radiomc {
 
 struct RankingOutcome {
   bool completed = false;
+  /// kOk iff completed; kDegraded when either phase's stall watchdog
+  /// fired; kFailed when a slot budget ran out.
+  RunStatus status = RunStatus::kOk;
   SlotTime collect_slots = 0;
   SlotTime deliver_slots = 0;
   SlotTime total_slots() const noexcept { return collect_slots + deliver_slots; }
@@ -34,10 +37,16 @@ struct RankingOutcome {
 /// separately, as in §7: "not including the setup costs of Section 2").
 /// `telemetry`, when given, receives "ranking" collect/deliver spans (the
 /// inner collection additionally reports through the same hub).
+/// `faults` / `stall_slots` mirror CollectionConfig's fields: the fault
+/// plan is applied to both phases (each phase's network compiles its own
+/// schedule off the phase seed) and the watchdog turns a stalled phase
+/// into a RunStatus::kDegraded outcome instead of a max_slots burn.
 RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
                            const std::vector<std::uint64_t>& app_ids,
                            std::uint64_t seed,
                            SlotTime max_slots = 200'000'000,
-                           TelemetryHub* telemetry = nullptr);
+                           TelemetryHub* telemetry = nullptr,
+                           const FaultPlan& faults = {},
+                           SlotTime stall_slots = 0);
 
 }  // namespace radiomc

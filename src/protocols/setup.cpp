@@ -58,9 +58,13 @@ class SetupStation final : public Station {
   }
 
   void on_slot(SlotTime t, std::span<std::optional<Message>> tx) override {
-    if (t == attempt_start_ + sched_.attempt_length()) {
+    // Resync to the globally known schedule. A while-loop, not an equality
+    // test: a station crashed across an attempt boundary (fault injection)
+    // wakes up mid-schedule and must roll forward through every boundary
+    // it slept through, or it would desynchronize forever.
+    while (t >= attempt_start_ + sched_.attempt_length()) {
+      attempt_start_ += sched_.attempt_length();
       ++attempt_;
-      attempt_start_ = t;
       start_attempt();
     }
     const SlotTime r = t - attempt_start_;
@@ -298,6 +302,12 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
   ncfg.num_channels = 2;
   RadioNetwork net(g, ncfg);
   if (tuning.trace != nullptr) net.set_trace(tuning.trace);
+  FaultSchedule faults;
+  if (tuning.faults.any()) {
+    faults =
+        FaultSchedule(g, tuning.faults, master.split(kFaultStreamTag).next());
+    net.set_faults(&faults);
+  }
   net.attach(std::move(ptrs));
 
   // Epoch spans fall on the globally known schedule boundaries, so the
@@ -325,6 +335,8 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
         .inc(o.attempts > 0 ? o.attempts - 1 : 0);
     reg.counter(o.ok ? "setup.completed" : "setup.failed").inc();
     telemetry::publish_net_metrics(net.metrics(), reg, "setup");
+    if (faults.enabled())
+      telemetry::publish_fault_metrics(faults, net.metrics(), reg, "setup");
   };
 
   SetupOutcome out;
@@ -372,6 +384,7 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
     return out;
   }
   out.slots = net.now();
+  out.status = RunStatus::kDegraded;
   publish_totals(out);
   return out;
 }

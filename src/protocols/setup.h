@@ -77,6 +77,13 @@ struct SetupTuning {
   TelemetryHub* telemetry = nullptr;
   /// Optional physical-event sink installed on the setup network.
   TraceSink* trace = nullptr;
+
+  /// Fault injection (src/faults/) applied to the setup network itself.
+  /// The verify/restart machinery is what tolerates it: a mid-epoch crash
+  /// surfaces as a failed verification and the schedule rolls into the
+  /// next attempt; crashed stations resynchronize to the globally known
+  /// schedule on recovery. All-zero = no faults.
+  FaultPlan faults;
 };
 
 /// The globally known epoch schedule of one setup attempt.
@@ -97,6 +104,10 @@ SetupSchedule setup_schedule(NodeId n, std::uint32_t decay_len,
 
 struct SetupOutcome {
   bool ok = false;
+  /// kOk iff ok; otherwise kDegraded — the attempt budget is the setup
+  /// phase's built-in watchdog, so exhaustion is a clean structured
+  /// outcome, never a hang.
+  RunStatus status = RunStatus::kOk;
   SlotTime slots = 0;       ///< schedule time consumed (all attempts)
   SlotTime work_slots = 0;  ///< when the root's final verification completed
   std::uint32_t attempts = 0;

@@ -12,7 +12,7 @@ namespace radiomc {
 SteadyStateOutcome run_collection_steady_state(
     const Graph& g, const BfsTree& tree, double lambda_per_phase,
     std::uint64_t phases, std::uint64_t warmup_phases, std::uint64_t seed,
-    ArrivalPlacement placement) {
+    ArrivalPlacement placement, const FaultPlan& faults) {
   const NodeId n = g.num_nodes();
   require(tree.num_nodes() == n, "steady_state: tree/graph mismatch");
   require(lambda_per_phase > 0.0 && lambda_per_phase < 1.0,
@@ -44,6 +44,13 @@ SteadyStateOutcome run_collection_steady_state(
 
   const std::uint64_t slots_per_phase = st[0]->clock().slots_per_phase();
   Rng arrivals_rng = master.split(0xA221);
+  // Derived after the arrival stream so a faulted run faces the identical
+  // arrival sequence as a fault-free run with the same seed.
+  FaultSchedule fsch;
+  if (faults.any()) {
+    fsch = FaultSchedule(g, faults, master.split(kFaultStreamTag).next());
+    net.set_faults(&fsch);
+  }
 
   SteadyStateOutcome out;
   std::unordered_map<std::uint64_t, std::uint64_t> birth_phase;  // tag -> phase

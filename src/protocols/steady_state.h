@@ -36,9 +36,13 @@ struct SteadyStateOutcome {
   OnlineStats sojourn_phases;
 };
 
+/// `faults`: optional fault plan compiled against the collection network.
+/// The run is bounded by its phase count, so no watchdog applies; faults
+/// show up as depressed delivery counts and inflated sojourns.
 SteadyStateOutcome run_collection_steady_state(
     const Graph& g, const BfsTree& tree, double lambda_per_phase,
     std::uint64_t phases, std::uint64_t warmup_phases, std::uint64_t seed,
-    ArrivalPlacement placement = ArrivalPlacement::kDeepestLevel);
+    ArrivalPlacement placement = ArrivalPlacement::kDeepestLevel,
+    const FaultPlan& faults = {});
 
 }  // namespace radiomc

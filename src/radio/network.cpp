@@ -1,13 +1,16 @@
 #include "radio/network.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/util.h"
 
 namespace radiomc {
 
 RadioNetwork::RadioNetwork(const Graph& g, Config cfg)
-    : graph_(&g), cfg_(cfg), capture_rng_(cfg.capture_seed) {
+    : graph_(&g),
+      cfg_(std::move(cfg)),
+      capture_rng_(cfg_.capture_stream ? *cfg_.capture_stream : Rng(0xCA97)) {
   require(cfg_.num_channels >= 1, "RadioNetwork: need >= 1 channel");
   require(cfg_.capture_prob >= 0.0 && cfg_.capture_prob <= 1.0,
           "RadioNetwork: capture_prob in [0, 1]");
@@ -29,14 +32,26 @@ void RadioNetwork::step() {
   require(!stations_.empty(), "RadioNetwork::step: no stations attached");
   const NodeId n = graph_->num_nodes();
   const ChannelId channels = cfg_.num_channels;
+  // Disabled schedules cost one pointer test per slot; every per-node /
+  // per-edge branch below is guarded on `fs` so the fault-free path is the
+  // exact legacy code path.
+  FaultSchedule* fs =
+      (faults_ != nullptr && faults_->enabled()) ? faults_ : nullptr;
+  if (fs) fs->begin_slot(now_);
   ++epoch_;
   tx_list_.clear();
 
   // Phase 1: collect transmit intents (one optional message per channel).
+  // Crashed stations are not polled: they neither transmit nor advance
+  // their protocol state (it stays frozen until recovery).
   for (NodeId v = 0; v < n; ++v) {
     auto row = std::span<std::optional<Message>>(
         actions_.data() + static_cast<std::size_t>(v) * channels, channels);
     for (auto& a : row) a.reset();
+    if (fs && !fs->node_alive(v)) {
+      ++metrics_.fault_crashed_slots;
+      continue;
+    }
     stations_[v]->on_slot(now_, row);
     for (ChannelId c = 0; c < channels; ++c) {
       if (!row[c]) continue;
@@ -55,7 +70,16 @@ void RadioNetwork::step() {
   const bool capture = cfg_.capture_prob > 0.0;
   for (auto [u, c] : tx_list_) {
     const Message& m = *actions_[static_cast<std::size_t>(u) * channels + c];
-    for (NodeId v : graph_->neighbors(u)) {
+    const auto nbrs = graph_->neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId v = nbrs[k];
+      if (fs) {
+        if (!fs->node_alive(v)) continue;  // crashed receivers hear nothing
+        if (!fs->link_up(u, k)) {          // down links carry nothing
+          ++metrics_.fault_link_blocked;
+          continue;
+        }
+      }
       RxSlot& slot = rx_[static_cast<std::size_t>(v) * channels + c];
       if (slot.epoch != epoch_) {
         slot.epoch = epoch_;
@@ -74,6 +98,7 @@ void RadioNetwork::step() {
   // Phase 3: deliver where exactly one neighbor transmitted and the
   // receiver was listening on that channel.
   for (NodeId v = 0; v < n; ++v) {
+    if (fs && !fs->node_alive(v)) continue;
     const std::size_t base = static_cast<std::size_t>(v) * channels;
     bool transmitted_any = false;
     if (!cfg_.rx_while_tx_other) {
@@ -87,11 +112,26 @@ void RadioNetwork::step() {
           !actions_[base + c].has_value() && !transmitted_any;
       if (!listening) continue;
       if (slot.tx_neighbors == 1) {
+        if (fs && fs->jammed(now_, v, c)) {
+          // Jamming kills an otherwise-clean reception; the receiver
+          // observes silence indistinguishable from a collision.
+          ++metrics_.fault_jams;
+          if (trace_) trace_->on_collision(now_, v, c, slot.tx_neighbors);
+          continue;
+        }
+        if (fs && fs->dropped(now_, v, c)) {
+          ++metrics_.fault_drops;
+          continue;
+        }
         ++metrics_.deliveries;
         if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
         stations_[v]->on_receive(now_, c, *slot.msg);
       } else if (capture && capture_rng_.bernoulli(cfg_.capture_prob)) {
         // Remark 3: the conflict resolves to one of the messages.
+        if (fs && fs->dropped(now_, v, c)) {
+          ++metrics_.fault_drops;
+          continue;
+        }
         ++metrics_.deliveries;
         ++metrics_.capture_deliveries;
         if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
@@ -104,7 +144,10 @@ void RadioNetwork::step() {
     }
   }
 
-  for (NodeId v = 0; v < n; ++v) stations_[v]->on_slot_end(now_);
+  for (NodeId v = 0; v < n; ++v) {
+    if (fs && !fs->node_alive(v)) continue;
+    stations_[v]->on_slot_end(now_);
+  }
   ++now_;
   ++metrics_.slots;
 }

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "faults/fault_schedule.h"
 #include "graph/graph.h"
 #include "radio/message.h"
 #include "radio/station.h"
@@ -39,6 +40,13 @@ struct NetMetrics {
   std::uint64_t deliveries = 0;        ///< successful receptions
   std::uint64_t collision_events = 0;  ///< (listener, channel, slot) with >= 2 transmitting neighbors
   std::uint64_t capture_deliveries = 0;  ///< collisions resolved by capture (Remark 3 mode)
+
+  // Fault-injection counters (src/faults/); all zero unless a FaultSchedule
+  // is installed via set_faults.
+  std::uint64_t fault_jams = 0;   ///< clean receptions killed by jamming
+  std::uint64_t fault_drops = 0;  ///< deliveries lost to message drops
+  std::uint64_t fault_link_blocked = 0;  ///< (tx, neighbor) pairs cut by a down link
+  std::uint64_t fault_crashed_slots = 0;  ///< (node, slot) pairs spent crashed
 
   void reset() { *this = NetMetrics{}; }
 };
@@ -58,8 +66,11 @@ class RadioNetwork {
     /// chosen one of their messages instead of silence. 0 = the paper's
     /// main model (and the default).
     double capture_prob = 0.0;
-    /// Seed of the engine-level randomness used for capture resolution.
-    std::uint64_t capture_seed = 0xCA97;
+    /// Engine-level randomness used for capture resolution. Drivers derive
+    /// it from their master stream via `Rng::split` so parallel trials get
+    /// independent capture randomness; unset falls back to a fixed
+    /// historical stream (`Rng(0xCA97)`).
+    std::optional<Rng> capture_stream;
   };
 
   /// The graph must outlive the network.
@@ -86,6 +97,15 @@ class RadioNetwork {
   /// remove). Instrumentation only — stations cannot see it.
   void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
 
+  /// Installs a fault schedule (not owned; nullptr to remove). A crashed
+  /// station neither transmits nor receives (its slot hooks are not
+  /// called); a down link carries nothing in either direction; a jammed
+  /// receiver observes collision-indistinguishable silence; dropped
+  /// deliveries vanish. Null or disabled schedules leave the engine on its
+  /// exact legacy code path — zero cost when off.
+  void set_faults(FaultSchedule* faults) noexcept { faults_ = faults; }
+  const FaultSchedule* faults() const noexcept { return faults_; }
+
  private:
   const Graph* graph_;
   Config cfg_;
@@ -93,6 +113,7 @@ class RadioNetwork {
   SlotTime now_ = 0;
   NetMetrics metrics_;
   TraceSink* trace_ = nullptr;
+  FaultSchedule* faults_ = nullptr;
   Rng capture_rng_;
 
   // Per-slot scratch, epoch-stamped to avoid O(n) clears per channel.

@@ -67,7 +67,10 @@ class EventRecorder final : public TraceSink {
     MsgKind msg_kind;    // valid iff has_msg
     NodeId origin;       // valid iff has_msg
     std::uint32_t seq;   // valid iff has_msg
-    std::uint32_t tx_neighbors;  // valid iff kind == kCollision (then >= 2)
+    /// Valid iff kind == kCollision: >= 2 for a genuine collision, == 1
+    /// when fault injection jammed an otherwise-clean reception (the
+    /// receiver cannot tell the difference; the trace can).
+    std::uint32_t tx_neighbors;
   };
 
   explicit EventRecorder(std::size_t capacity = 1 << 20)

@@ -66,7 +66,7 @@ TEST(Capture, FullCaptureAlwaysDeliversOneOfThem) {
     st[2].payload = 2;
     RadioNetwork::Config cfg;
     cfg.capture_prob = 1.0;
-    cfg.capture_seed = 1000 + trial;
+    cfg.capture_stream = Rng(1000 + trial);
     RadioNetwork net(g, cfg);
     net.attach({&st[0], &st[1], &st[2], &st[3]});
     net.step();
@@ -89,7 +89,7 @@ TEST(Capture, PartialProbabilityRoughlyRespected) {
     st[1].sends = st[2].sends = true;
     RadioNetwork::Config cfg;
     cfg.capture_prob = 0.3;
-    cfg.capture_seed = 2000 + trial;
+    cfg.capture_stream = Rng(2000 + trial);
     RadioNetwork net(g, cfg);
     net.attach({&st[0], &st[1], &st[2], &st[3]});
     net.step();
@@ -151,7 +151,7 @@ TEST(Capture, AckTheoremFailsUnderCapture) {
     p[2].designated = 3;
     RadioNetwork::Config cfg;
     cfg.capture_prob = 1.0;
-    cfg.capture_seed = 3000 + trial;
+    cfg.capture_stream = Rng(3000 + trial);
     RadioNetwork net(g, cfg);
     net.attach({&p[0], &p[1], &p[2], &p[3]});
     net.run(2);
@@ -194,7 +194,7 @@ TEST_P(CaptureCollection, DedupGuardKeepsExactlyOnce) {
   for (auto& a : adapters) ptrs.push_back(&a);
   RadioNetwork::Config ncfg;
   ncfg.capture_prob = 1.0;
-  ncfg.capture_seed = rng.next();
+  ncfg.capture_stream = rng.split(0xCA);
   RadioNetwork net(g, ncfg);
   net.attach(std::move(ptrs));
   while (stations[0]->root_sink().size() < init.size() &&
@@ -241,7 +241,7 @@ TEST(Capture, WithoutGuardDuplicatesOccur) {
     for (auto& a : adapters) ptrs.push_back(&a);
     RadioNetwork::Config ncfg;
     ncfg.capture_prob = 1.0;
-    ncfg.capture_seed = rng.next();
+    ncfg.capture_stream = rng.split(0xCA);
     RadioNetwork net(g, ncfg);
     net.attach(std::move(ptrs));
     while (stations[0]->root_sink().size() < init.size() &&
@@ -275,7 +275,7 @@ TEST_P(CaptureBroadcast, FullServiceSurvivesCapture) {
   cfg.collection.dedup_guard = true;
   cfg.distribution.window = 4;
   cfg.engine.capture_prob = 1.0;
-  cfg.engine.capture_seed = rng.next();
+  cfg.engine.capture_stream = rng.split(0xCA);
   BroadcastService svc(g, tree, cfg, rng.next());
   const int k = 20;
   for (int i = 0; i < k; ++i)

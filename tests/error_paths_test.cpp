@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "faults/fault_plan.h"
 #include "graph/generators.h"
 #include "protocols/broadcast_service.h"
 #include "protocols/collection.h"
@@ -104,6 +107,78 @@ TEST(ErrorPaths, MismatchedTreeInCollectionDriver) {
   EXPECT_THROW(
       run_collection(g, tree, {}, CollectionConfig::for_graph(g), 1),
       std::invalid_argument);
+}
+
+/// Runs `plan.validate()` and returns the rejection message ("" if the
+/// plan was accepted) so the tests can pin the exact wording the CLI
+/// surfaces to users.
+std::string fault_plan_rejection(const FaultPlan& plan) {
+  try {
+    plan.validate();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ErrorPaths, FaultPlanRejectsOutOfRangeRates) {
+  FaultPlan p;
+  p.crash_rate = 1.5;
+  EXPECT_EQ(fault_plan_rejection(p), "FaultPlan: crash_rate must be in [0, 1]");
+  p = FaultPlan{};
+  p.crash_rate = 0.1;
+  p.recover_rate = -0.5;
+  EXPECT_EQ(fault_plan_rejection(p),
+            "FaultPlan: recover_rate must be in [0, 1]");
+  p = FaultPlan{};
+  p.link_down_rate = 2.0;
+  EXPECT_EQ(fault_plan_rejection(p),
+            "FaultPlan: link_down_rate must be in [0, 1]");
+  p = FaultPlan{};
+  p.link_down_rate = 0.1;
+  p.link_up_rate = -1.0;
+  EXPECT_EQ(fault_plan_rejection(p),
+            "FaultPlan: link_up_rate must be in [0, 1]");
+  p = FaultPlan{};
+  p.jam_prob = 1.0001;
+  EXPECT_EQ(fault_plan_rejection(p), "FaultPlan: jam_prob must be in [0, 1]");
+  p = FaultPlan{};
+  p.drop_prob = -0.0001;
+  EXPECT_EQ(fault_plan_rejection(p), "FaultPlan: drop_prob must be in [0, 1]");
+}
+
+TEST(ErrorPaths, FaultPlanRejectsContradictoryCombinations) {
+  FaultPlan p;
+  p.recover_rate = 0.5;  // healing without any crashing
+  EXPECT_EQ(fault_plan_rejection(p),
+            "FaultPlan: recover_rate without crash_rate is contradictory");
+  p = FaultPlan{};
+  p.link_up_rate = 0.5;  // link healing without any link churn
+  EXPECT_EQ(fault_plan_rejection(p),
+            "FaultPlan: link_up_rate without link_down_rate is contradictory");
+  p = FaultPlan{};
+  p.jam_prob = 0.1;
+  p.epoch_slots = 0;
+  EXPECT_EQ(fault_plan_rejection(p), "FaultPlan: epoch_slots must be >= 1");
+  p = FaultPlan{};
+  p.jam_prob = 0.1;
+  p.window_start = 100;
+  p.window_end = 100;  // empty onset window
+  EXPECT_EQ(fault_plan_rejection(p),
+            "FaultPlan: fault window is empty (window_end <= window_start)");
+}
+
+TEST(ErrorPaths, FaultPlanAcceptsBoundaryValues) {
+  FaultPlan p;
+  p.crash_rate = 1.0;
+  p.recover_rate = 1.0;
+  p.link_down_rate = 1.0;
+  p.link_up_rate = 1.0;
+  p.jam_prob = 1.0;
+  p.drop_prob = 1.0;
+  p.epoch_slots = 1;
+  EXPECT_EQ(fault_plan_rejection(p), "");
+  EXPECT_EQ(fault_plan_rejection(FaultPlan{}), "");  // all-zero: valid, off
 }
 
 }  // namespace

@@ -18,6 +18,14 @@
 //   --trace-out FILE     stream physical events as JSONL during the run
 //   --trace-agg N        add per-N-slot aggregate lines to the trace
 //
+// Fault injection (protocol commands; topo/ethernet reject the flags):
+//   --fault-crash/--fault-recover/--fault-link-down/--fault-link-up
+//   --fault-jam/--fault-drop/--fault-epoch/--fault-from/--fault-until
+//   compile a deterministic FaultPlan against the protocol's network;
+//   --fault-stall N arms a progress watchdog (status "degraded" instead
+//   of a hang). With every rate zero, output is byte-identical to a
+//   fault-free build.
+//
 // Repetition (setup/flood/collect/p2p/broadcast):
 //   --trials N           run N independent trials; trial t's seed derives
 //                        from root.split(t), so results depend only on
@@ -34,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.h"
 #include "graph/algorithms.h"
 #include "graph/graph_io.h"
 #include "graph/topology_spec.h"
@@ -70,6 +79,10 @@ struct Args {
     const auto it = options.find(key);
     return it == options.end() ? dflt : std::stoull(it->second);
   }
+  double get_f64(const std::string& key, double dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : std::stod(it->second);
+  }
 };
 
 Args parse_args(int argc, char** argv) {
@@ -88,6 +101,41 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
+/// --fault-* flags -> a validated FaultPlan. Rates outside [0, 1],
+/// recovery without crashes, link-up without link-down and empty windows
+/// are rejected with the FaultPlan::validate messages.
+FaultPlan faults_from_args(const Args& a) {
+  FaultPlan p;
+  p.crash_rate = a.get_f64("fault-crash", 0.0);
+  p.recover_rate = a.get_f64("fault-recover", 0.0);
+  p.link_down_rate = a.get_f64("fault-link-down", 0.0);
+  p.link_up_rate = a.get_f64("fault-link-up", 0.0);
+  p.jam_prob = a.get_f64("fault-jam", 0.0);
+  p.drop_prob = a.get_f64("fault-drop", 0.0);
+  p.epoch_slots = a.get_u64("fault-epoch", p.epoch_slots);
+  p.window_start = a.get_u64("fault-from", 0);
+  p.window_end = a.get_u64("fault-until", kNoSlotLimit);
+  p.validate();
+  return p;
+}
+
+/// Commands without a fault model (topo builds no network; ethernet's
+/// virtual bus predates the hook) refuse the flags instead of ignoring
+/// them silently.
+void reject_fault_flags(const Args& a, const char* cmd) {
+  for (const auto& [key, value] : a.options) {
+    (void)value;
+    require(key.rfind("fault-", 0) != 0,
+            "--" + key + " is not supported by the " + std::string(cmd) +
+                " command: it injects no faults");
+  }
+}
+
+/// One stdout line describing the active plan; empty when no fault is
+/// enabled so fault-free reports stay byte-identical to the historical
+/// output.
+std::string fault_report_line(const FaultPlan& p);
+
 int usage() {
   std::printf(
       "radiomc_sim <command> --topology <spec> [options]\n"
@@ -95,7 +143,8 @@ int usage() {
       "commands:\n"
       "  topo       print graph statistics   [--dot [--tree]] [--edges]\n"
       "  steady     open-system collection   [--lambda F] [--phases P]\n"
-      "  setup      run the full §2 setup phase      [--anon BITS]\n"
+      "  setup      run the full §2 setup phase      [--anon BITS] "
+      "[--attempts N]\n"
       "  flood      BGI single-source broadcast      [--source V]\n"
       "  collect    k-message collection (§4)        [--k K] [--no-mod3]\n"
       "  p2p        k point-to-point messages (§5)   [--k K]\n"
@@ -111,6 +160,25 @@ int usage() {
       "setup/flood/collect/p2p/broadcast)\n"
       "                --jobs J            (threads for --trials; 0 = all "
       "cores; env RADIOMC_JOBS)\n"
+      "fault injection (protocol commands; topo/ethernet reject these):\n"
+      "                --fault-crash R     (per-epoch crash prob per "
+      "station)\n"
+      "                --fault-recover R   (per-epoch recovery prob when "
+      "crashed)\n"
+      "                --fault-link-down R (per-epoch link-down prob per "
+      "link)\n"
+      "                --fault-link-up R   (per-epoch link-up prob when "
+      "down)\n"
+      "                --fault-jam P       (per-slot jam prob per clean "
+      "reception)\n"
+      "                --fault-drop P      (per-slot delivery drop prob)\n"
+      "                --fault-epoch N     (epoch length in slots, default "
+      "1024)\n"
+      "                --fault-from S      (first slot faults may strike)\n"
+      "                --fault-until S     (fault onset stops at this "
+      "slot)\n"
+      "                --fault-stall N     (watchdog: degraded after N "
+      "slots w/o progress)\n"
       "topology spec: %s\n",
       gen::spec_grammar().c_str());
   return 2;
@@ -127,6 +195,10 @@ struct Obs {
     Obs o;
     o.metrics_path = a.get("metrics-out", "");
     const std::string trace_path = a.get("trace-out", "");
+    if (trace_path.empty())
+      require(!a.has("trace-agg"),
+              "--trace-agg requires --trace-out: aggregate lines are part "
+              "of the trace stream");
     if (!trace_path.empty()) {
       telemetry::JsonlOptions opt;
       opt.aggregate_every = a.get_u64("trace-agg", 0);
@@ -167,9 +239,14 @@ struct World {
 /// (the `setup` command); other commands trace only their own protocol so
 /// slot timestamps in the trace refer to one network clock. `seed` stands
 /// in for --seed so each --trials repetition builds its own world.
+/// `setup_faults`: only the `setup` command injects faults into the setup
+/// run itself (and then tolerates a degraded outcome); every other
+/// command needs the tree, so its setup runs fault-free and the plan
+/// applies to the protocol under test.
 World make_world(const Args& a, std::uint64_t seed, bool need_setup,
                  telemetry::Telemetry* tel = nullptr,
-                 TraceSink* setup_trace = nullptr) {
+                 TraceSink* setup_trace = nullptr,
+                 const FaultPlan* setup_faults = nullptr) {
   Rng rng(seed);
   World w;
   w.g = gen::from_spec(a.get("topology", ""), rng);
@@ -179,8 +256,15 @@ World make_world(const Args& a, std::uint64_t seed, bool need_setup,
         static_cast<std::uint32_t>(a.get_u64("anon", 0));
     tuning.telemetry = tel;
     tuning.trace = setup_trace;
-    w.setup = run_setup(w.g, rng.next(), tuning);
-    require(w.setup.ok, "setup failed");
+    if (setup_faults != nullptr) tuning.faults = *setup_faults;
+    // --attempts caps the verify/restart loop; attempt lengths double, so
+    // under sustained faults the default budget of 12 can take ~2^12x the
+    // base attempt length before reporting degraded.
+    const auto max_attempts =
+        static_cast<std::uint32_t>(a.get_u64("attempts", 12));
+    w.setup = run_setup(w.g, rng.next(), tuning, max_attempts);
+    if (setup_faults == nullptr || !setup_faults->any())
+      require(w.setup.ok, "setup failed");
   }
   return w;
 }
@@ -190,6 +274,16 @@ std::string strf(const char* f, A... args) {
   char buf[768];
   std::snprintf(buf, sizeof buf, f, args...);
   return std::string(buf);
+}
+
+std::string fault_report_line(const FaultPlan& p) {
+  if (!p.any()) return "";
+  return strf(
+      "  faults: crash=%g recover=%g link-down=%g link-up=%g jam=%g "
+      "drop=%g epoch=%llu\n",
+      p.crash_rate, p.recover_rate, p.link_down_rate, p.link_up_rate,
+      p.jam_prob, p.drop_prob,
+      static_cast<unsigned long long>(p.epoch_slots));
 }
 
 /// One repetition of a command: exit code plus its (buffered) report. The
@@ -256,6 +350,7 @@ int run_cmd(const Args& a, CoreFn core) {
 }
 
 int cmd_topo(const Args& a) {
+  reject_fault_flags(a, "topo");
   Rng rng(a.get_u64("seed", 1));
   const Graph g = gen::from_spec(a.get("topology", ""), rng);
   if (a.has("dot")) {
@@ -292,9 +387,11 @@ int cmd_steady(const Args& a) {
   const double mu = queueing::mu_decay();
   const double lambda =
       std::stod(a.get("lambda", "0.5")) * mu;  // --lambda = fraction of mu
+  const FaultPlan faults = faults_from_args(a);
   const auto out = run_collection_steady_state(
       w.g, w.setup.tree, lambda, a.get_u64("phases", 20000),
-      a.get_u64("warmup", 2000), rng.next());
+      a.get_u64("warmup", 2000), rng.next(),
+      ArrivalPlacement::kDeepestLevel, faults);
   obs.tel.timeline.record(
       "steady_state", "phases", 0, out.phases,  // span unit: phases
       {{"arrivals", static_cast<std::int64_t>(out.arrivals)},
@@ -315,13 +412,25 @@ int cmd_steady(const Args& a) {
   std::printf("  mean sojourn phases = %.3f (model-4 bound %.3f)\n",
               out.sojourn_phases.mean(),
               w.setup.tree.depth * queueing::mean_wait(lambda, mu));
+  std::fputs(fault_report_line(faults).c_str(), stdout);
   return obs.finish(0);
 }
 
 TrialOut setup_core(const Args& a, std::uint64_t seed,
                     telemetry::Telemetry* tel, TraceSink* trace) {
-  const World w = make_world(a, seed, true, tel, /*setup_trace=*/trace);
+  const FaultPlan faults = faults_from_args(a);
+  const World w =
+      make_world(a, seed, true, tel, /*setup_trace=*/trace, &faults);
   TrialOut out;
+  if (!w.setup.ok) {
+    out.report = strf("setup on %s: %s after %u attempts (%llu slots)\n",
+                      a.get("topology", "").c_str(),
+                      to_string(w.setup.status), w.setup.attempts,
+                      static_cast<unsigned long long>(w.setup.slots));
+    out.report += fault_report_line(faults);
+    out.rc = 1;
+    return out;
+  }
   out.report = strf("setup on %s: leader=%u depth=%u attempts=%u\n",
                     a.get("topology", "").c_str(), w.setup.leader,
                     w.setup.tree.depth, w.setup.attempts);
@@ -331,6 +440,7 @@ TrialOut setup_core(const Args& a, std::uint64_t seed,
                      static_cast<unsigned long long>(w.setup.work_slots));
   out.report += strf("  BFS tree valid = %s\n",
                      is_bfs_tree_of(w.g, w.setup.tree) ? "yes" : "NO");
+  out.report += fault_report_line(faults);
   return out;
 }
 
@@ -341,13 +451,15 @@ TrialOut flood_core(const Args& a, std::uint64_t seed,
   Rng rng(seed);
   const Graph g = gen::from_spec(a.get("topology", ""), rng);
   const NodeId source = static_cast<NodeId>(a.get_u64("source", 0));
+  const FaultPlan faults = faults_from_args(a);
   const std::uint64_t phases =
       4 * (diameter(g) + 2 * ceil_log2(g.num_nodes()) + 4);
-  const auto out = run_bgi_broadcast(g, source, phases, rng.next());
+  const auto out = run_bgi_broadcast(g, source, phases, rng.next(), faults);
   TrialOut r;
   r.report = strf("BGI flood from %u: informed %u/%u in %llu slots\n", source,
                   out.informed_count, g.num_nodes(),
                   static_cast<unsigned long long>(out.slots));
+  r.report += fault_report_line(faults);
   tel->timeline.record(
       "flood", "run", 0, out.slots,
       {{"informed", static_cast<std::int64_t>(out.informed_count)},
@@ -382,6 +494,8 @@ TrialOut collect_core(const Args& a, std::uint64_t seed,
   if (a.has("no-mod3")) cfg.slots.mod3_gating = false;
   cfg.telemetry = tel;
   cfg.trace = trace;
+  cfg.faults = faults_from_args(a);
+  cfg.stall_slots = a.get_u64("fault-stall", 0);
   const auto out = run_collection(w.g, w.setup.tree, init, cfg, rng.next());
   TrialOut r;
   r.report =
@@ -390,6 +504,9 @@ TrialOut collect_core(const Args& a, std::uint64_t seed,
            out.completed ? "complete" : "INCOMPLETE",
            static_cast<unsigned long long>(out.slots),
            static_cast<unsigned long long>(out.phases));
+  r.report += fault_report_line(cfg.faults);
+  if (cfg.faults.any())
+    r.report += strf("  status: %s\n", to_string(out.status));
   r.rc = out.completed ? 0 : 1;
   return r;
 }
@@ -412,12 +529,17 @@ TrialOut p2p_core(const Args& a, std::uint64_t seed,
   P2pConfig pcfg = P2pConfig::for_graph(w.g);
   pcfg.telemetry = tel;
   pcfg.trace = trace;
+  pcfg.faults = faults_from_args(a);
+  pcfg.stall_slots = a.get_u64("fault-stall", 0);
   const auto out = run_point_to_point(w.g, prep, reqs, pcfg, rng.next());
   TrialOut r;
   r.report = strf("p2p: %llu/%llu delivered in %llu slots\n",
                   static_cast<unsigned long long>(out.delivered),
                   static_cast<unsigned long long>(k),
                   static_cast<unsigned long long>(out.slots));
+  r.report += fault_report_line(pcfg.faults);
+  if (pcfg.faults.any())
+    r.report += strf("  status: %s\n", to_string(out.status));
   r.rc = out.completed ? 0 : 1;
   return r;
 }
@@ -434,6 +556,8 @@ TrialOut broadcast_core(const Args& a, std::uint64_t seed,
       static_cast<std::uint32_t>(a.get_u64("window", 0));
   cfg.telemetry = tel;
   cfg.trace = trace;
+  cfg.faults = faults_from_args(a);
+  cfg.stall_slots = a.get_u64("fault-stall", 0);
   std::vector<NodeId> sources;
   for (std::uint64_t i = 0; i < k; ++i)
     sources.push_back(static_cast<NodeId>(rng.next_below(w.g.num_nodes())));
@@ -445,6 +569,9 @@ TrialOut broadcast_core(const Args& a, std::uint64_t seed,
                   out.completed ? "complete" : "INCOMPLETE",
                   static_cast<unsigned long long>(out.slots),
                   static_cast<unsigned long long>(out.root_resends));
+  r.report += fault_report_line(cfg.faults);
+  if (cfg.faults.any())
+    r.report += strf("  status: %s\n", to_string(out.status));
   r.rc = out.completed ? 0 : 1;
   return r;
 }
@@ -461,11 +588,14 @@ int cmd_ranking(const Args& a) {
   prep.routing = w.setup.routing;
   std::vector<std::uint64_t> ids(w.g.num_nodes());
   for (auto& id : ids) id = rng.next();
-  const auto out =
-      run_ranking(w.g, prep, ids, rng.next(), 200'000'000, &obs.tel);
+  const FaultPlan faults = faults_from_args(a);
+  const auto out = run_ranking(w.g, prep, ids, rng.next(), 200'000'000,
+                               &obs.tel, faults, a.get_u64("fault-stall", 0));
   std::printf("ranking of %u nodes: %s in %llu slots\n", w.g.num_nodes(),
               out.completed ? "complete" : "INCOMPLETE",
               static_cast<unsigned long long>(out.total_slots()));
+  std::fputs(fault_report_line(faults).c_str(), stdout);
+  if (faults.any()) std::printf("  status: %s\n", to_string(out.status));
   if (out.completed)
     std::printf("  node 0: id %#llx -> rank %u\n",
                 static_cast<unsigned long long>(ids[0]), out.rank[0]);
@@ -473,6 +603,7 @@ int cmd_ranking(const Args& a) {
 }
 
 int cmd_ethernet(const Args& a) {
+  reject_fault_flags(a, "ethernet");
   Obs obs = Obs::from_args(a);
   World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel);
   Rng rng(a.get_u64("seed", 1) ^ 0xB4);
