@@ -13,10 +13,15 @@
 // (modulo the trailing "run" member).
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/conformance.h"
+#include "analysis/lifecycle.h"
+#include "analysis/trace_reader.h"
 #include "common.h"
+#include "telemetry/jsonl_sink.h"
 #include "faults/fault_plan.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -204,6 +209,75 @@ int main(int argc, char** argv) {
     }
   }
   t.print();
+
+  // Conformance cross-checks on traced runs (src/analysis):
+  //  (a) the fault-free baseline must pass the full strict audit — the
+  //      paper's guarantees hold exactly when no faults are injected;
+  //  (b) a jammed run's trace must tally jam-killed receptions (txn == 1)
+  //      separately from genuine collisions (txn >= 2), so jamming does
+  //      not inflate the collision statistics above.
+  auto traced_collection = [&](const FaultPlan& plan, std::uint64_t salt) {
+    std::ostringstream buf;
+    telemetry::JsonlTraceSink sink(buf);
+    CollectionConfig cfg = CollectionConfig::for_graph(g);
+    sink.set_protocol("collection");
+    sink.set_slot_structure(cfg.slots);
+    sink.set_levels(tree.level);
+    cfg.trace = &sink;
+    cfg.faults = plan;
+    cfg.stall_slots = kStall;
+    Rng r = rng.split(salt);
+    std::vector<Message> init;
+    for (std::uint64_t m = 0; m < kMessages; ++m) {
+      Message msg;
+      msg.kind = MsgKind::kData;
+      msg.origin = static_cast<NodeId>(1 + r.next_below(g.num_nodes() - 1));
+      msg.seq = static_cast<std::uint32_t>(m);
+      init.push_back(msg);
+    }
+    run_collection(g, tree, init, cfg, r.next());
+    sink.finish();
+    std::istringstream in(buf.str());
+    return analysis::read_trace(in);
+  };
+
+  bool audit_ok = false;
+  {
+    const analysis::TraceReadResult read =
+        traced_collection(FaultPlan{}, 991);
+    if (read.ok) {
+      const auto flights = analysis::build_lifecycles(read.trace);
+      const analysis::AuditReport audit =
+          analysis::audit_trace(read.trace, flights);
+      audit_ok = audit.pass;
+      // Fault-free: jam-killed receptions cannot exist.
+      audit_ok = audit_ok && read.trace.jam_count == 0;
+    }
+    json.row({{"audit", "baseline_strict"}, {"ok", audit_ok}});
+    verdict(audit_ok,
+            "fault-free baseline trace passes the strict conformance audit");
+  }
+
+  bool split_ok = false;
+  {
+    FaultPlan jam;
+    jam.jam_prob = 0.2;
+    const analysis::TraceReadResult read = traced_collection(jam, 992);
+    if (read.ok) {
+      // Under jamming the trace must attribute txn==1 losses to the jam
+      // counter, never to the genuine-collision counter.
+      split_ok = read.trace.jam_count > 0;
+      json.row({{"audit", "jam_split"},
+                {"jams", read.trace.jam_count},
+                {"collisions", read.trace.collision_count},
+                {"ok", split_ok}});
+    }
+    verdict(split_ok,
+            "jammed trace separates jam-killed receptions from genuine "
+            "collisions");
+  }
+  ok = ok && audit_ok && split_ok;
+
   verdict(ok, "all runs ended ok or degraded; fault-free baseline complete");
   json.pass(ok);
   json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());

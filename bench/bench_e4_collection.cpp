@@ -14,8 +14,12 @@
 // streams are derived serially in (k, rep) order, so every statistic is
 // byte-identical whatever the job count.
 
+#include <sstream>
 #include <vector>
 
+#include "analysis/conformance.h"
+#include "analysis/lifecycle.h"
+#include "analysis/trace_reader.h"
 #include "common.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -23,6 +27,7 @@
 #include "protocols/tree.h"
 #include "queueing/analysis.h"
 #include "support/rng.h"
+#include "telemetry/jsonl_sink.h"
 
 using namespace radiomc;
 using namespace radiomc::bench;
@@ -115,6 +120,50 @@ int main(int argc, char** argv) {
     prev_k = k;
   }
   t.print();
+
+  // Conformance audit: replay one traced gated run through the offline
+  // auditor (src/analysis), so every E4 invocation also asserts Thm 3.1
+  // ack certainty, Thm 4.1's advance rate and exactly-once delivery on
+  // the exact event stream the engine produced.
+  bool audit_ok = false;
+  {
+    std::ostringstream trace_buf;
+    telemetry::JsonlTraceSink sink(trace_buf);
+    CollectionConfig cfg = CollectionConfig::for_graph(g);
+    sink.set_protocol("collection");
+    sink.set_slot_structure(cfg.slots);
+    sink.set_levels(tree.level);
+    cfg.trace = &sink;
+    Rng ar = rng.split(999);
+    auto init = workload(32, ar);
+    run_collection(g, tree, init, cfg, ar.next());
+    sink.finish();
+    std::istringstream in(trace_buf.str());
+    const analysis::TraceReadResult read = analysis::read_trace(in);
+    std::string detail = read.ok ? "" : read.error;
+    if (read.ok) {
+      const auto flights = analysis::build_lifecycles(read.trace);
+      const analysis::AuditReport audit =
+          analysis::audit_trace(read.trace, flights);
+      audit_ok = audit.pass;
+      for (const analysis::CheckResult& c : audit.checks) {
+        json.row({{"audit_check", c.id},
+                  {"status", c.status == analysis::CheckStatus::kPass
+                                 ? "pass"
+                                 : c.status == analysis::CheckStatus::kFail
+                                       ? "fail"
+                                       : "skip"},
+                  {"detail", c.detail}});
+        if (c.status == analysis::CheckStatus::kFail)
+          detail += (detail.empty() ? "" : "; ") + c.id + ": " + c.detail;
+      }
+    }
+    verdict(audit_ok,
+            "traced k=32 run passes the radiomc_trace conformance audit" +
+                (detail.empty() ? std::string() : " (" + detail + ")"));
+  }
+  ok = ok && audit_ok;
+
   verdict(ok, "measured completion sits under Theorem 4.4's constant");
   json.pass(ok);
   json.set_run_info(opt.jobs, timer.wall_ms(), timer.cpu_ms());

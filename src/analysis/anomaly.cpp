@@ -1,0 +1,82 @@
+#include "analysis/anomaly.h"
+
+#include <algorithm>
+
+#include "analysis/conformance.h"
+
+namespace radiomc::analysis {
+
+AnomalyReport scan_anomalies(const Trace& trace, const AnomalyOptions& opts) {
+  AnomalyReport rep;
+  const TraceSchema& sc = trace.schema;
+
+  // Resolve the stall threshold.
+  if (opts.stall_slots != 0) {
+    rep.stall_threshold = opts.stall_slots;
+  } else if (sc.slots) {
+    rep.stall_threshold = 10 * PhaseClock(*sc.slots).slots_per_phase();
+  } else {
+    rep.stall_threshold = 512;
+  }
+
+  // --- Stall windows: gaps between clean deliveries ---------------------
+  bool any_rx = false;
+  SlotTime last_rx = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.ev != EvKind::kRx) continue;
+    if (any_rx && e.t > last_rx && e.t - last_rx > rep.stall_threshold)
+      rep.stalls.push_back({last_rx, e.t});
+    last_rx = e.t;
+    any_rx = true;
+  }
+  // Silence at the very end of the trace counts too (e.g. the protocol
+  // wedged and the slot budget ran out).
+  if (any_rx && trace.last_slot > last_rx &&
+      trace.last_slot - last_rx > rep.stall_threshold)
+    rep.stalls.push_back({last_rx, trace.last_slot});
+
+  // --- Per-level collision / jam tallies --------------------------------
+  if (sc.has_levels()) {
+    std::uint32_t max_level = 0;
+    for (std::uint32_t l : sc.levels)
+      if (l != TraceSchema::kNoLevel) max_level = std::max(max_level, l);
+    rep.levels.resize(max_level + 1);
+    for (std::uint32_t i = 0; i <= max_level; ++i) rep.levels[i].level = i;
+
+    for (const TraceEvent& e : trace.events) {
+      const std::uint32_t lvl = sc.level_of(e.node);
+      if (lvl == TraceSchema::kNoLevel || lvl > max_level) continue;
+      if (e.ev == EvKind::kRx) {
+        ++rep.levels[lvl].deliveries;
+      } else if (e.ev == EvKind::kCollision) {
+        if (e.is_collision_genuine()) ++rep.levels[lvl].collisions;
+        else ++rep.levels[lvl].jams;
+      }
+    }
+
+    std::uint64_t total_coll = 0;
+    for (const LevelStats& l : rep.levels) total_coll += l.collisions;
+    const double mean =
+        rep.levels.empty()
+            ? 0.0
+            : static_cast<double>(total_coll) /
+                  static_cast<double>(rep.levels.size());
+    for (LevelStats& l : rep.levels) {
+      l.hot = l.collisions >= opts.hot_min &&
+              static_cast<double>(l.collisions) > opts.hot_factor * mean;
+    }
+  }
+
+  // --- Starved levels (from the shared phase tallies) -------------------
+  if (sc.slots && sc.has_levels()) {
+    const PhaseTallies t = tally_phases(trace);
+    for (std::uint32_t lvl = 0; lvl < t.longest_starve_by_level.size();
+         ++lvl) {
+      if (t.longest_starve_by_level[lvl] >= opts.starve_min_phases)
+        rep.starved.push_back({lvl, t.longest_starve_by_level[lvl]});
+    }
+  }
+  return rep;
+}
+
+}  // namespace radiomc::analysis

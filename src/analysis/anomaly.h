@@ -1,0 +1,74 @@
+#pragma once
+
+// Anomaly scanner: heuristics over a trace that flag *where to look*, not
+// theorem violations — the auditor (conformance.h) owns those. Three
+// scans:
+//
+//  * stall windows — slot ranges with no clean delivery anywhere, longer
+//    than a threshold (default 10 phases). In a healthy collection run
+//    Thm 4.1 keeps deliveries flowing every few phases; a long silence
+//    usually means jamming, a crashed cut vertex, or a scheduling bug.
+//  * collision hot spots by BFS level — levels absorbing far more than
+//    their share of genuine collisions (jams are reported alongside but
+//    tallied separately; they indict the fault plan, not the protocol).
+//  * starved levels — levels that stayed occupied for many consecutive
+//    phases without forwarding anything; the queueing analysis (§4, Hsu–
+//    Burke) says backlogs drain geometrically, so a long starve streak is
+//    the signature of a livelocked or shadowed level.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/trace_event.h"
+
+namespace radiomc::analysis {
+
+struct StallWindow {
+  SlotTime from = 0;  ///< last slot with a clean delivery before the gap
+  SlotTime to = 0;    ///< next slot with one (or last_slot at trace end)
+  SlotTime gap() const noexcept { return to - from; }
+};
+
+struct LevelStats {
+  std::uint32_t level = 0;
+  std::uint64_t collisions = 0;  ///< genuine (txn >= 2) at this level
+  std::uint64_t jams = 0;        ///< fault-injected (txn == 1)
+  std::uint64_t deliveries = 0;
+  bool hot = false;  ///< collision outlier (see AnomalyOptions)
+};
+
+struct StarvedLevel {
+  std::uint32_t level = 0;
+  std::uint64_t phases = 0;  ///< longest occupied-without-advance streak
+};
+
+struct AnomalyOptions {
+  /// Stall threshold in slots; 0 = auto (10 phases when the slot
+  /// structure is known, else 512 slots).
+  SlotTime stall_slots = 0;
+  /// A level is a collision hot spot when its genuine-collision count
+  /// exceeds `hot_factor` x the per-level mean and at least `hot_min`.
+  double hot_factor = 2.0;
+  std::uint64_t hot_min = 16;
+  /// Minimum occupied-without-advance streak (in phases) to flag.
+  std::uint64_t starve_min_phases = 32;
+};
+
+struct AnomalyReport {
+  SlotTime stall_threshold = 0;  ///< resolved threshold actually used
+  std::vector<StallWindow> stalls;
+  std::vector<LevelStats> levels;        ///< one per level; empty w/o levels
+  std::vector<StarvedLevel> starved;     ///< flagged levels only
+
+  bool clean() const noexcept {
+    if (!stalls.empty() || !starved.empty()) return false;
+    for (const LevelStats& l : levels)
+      if (l.hot) return false;
+    return true;
+  }
+};
+
+AnomalyReport scan_anomalies(const Trace& trace,
+                             const AnomalyOptions& opts = {});
+
+}  // namespace radiomc::analysis

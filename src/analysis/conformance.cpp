@@ -1,0 +1,349 @@
+#include "analysis/conformance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "support/stats.h"
+
+namespace radiomc::analysis {
+
+double mu_advance() noexcept {
+  const double inv_e = std::exp(-1.0);
+  return inv_e * (1.0 - inv_e);
+}
+
+namespace {
+
+std::string fmt_ratio(std::uint64_t num, std::uint64_t den) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu/%llu",
+                static_cast<unsigned long long>(num),
+                static_cast<unsigned long long>(den));
+  return buf;
+}
+
+/// Accepted child -> parent hop (the §4 accept rule), readable straight
+/// off an rx event.
+bool is_accepted_hop(const TraceEvent& e) {
+  return e.ev == EvKind::kRx && is_upbound_kind(e.kind) &&
+         e.from != kNoNode && e.from_parent == e.node;
+}
+
+CheckResult check_trace_complete(const Trace& trace) {
+  CheckResult c;
+  c.id = "trace-complete";
+  if (trace.truncated) {
+    c.status = CheckStatus::kFail;
+    c.detail = "trace truncated at slot " + std::to_string(trace.truncated_at) +
+               " (" + std::to_string(trace.dropped_events) +
+               " events dropped); refusing to certify an incomplete trace";
+  } else {
+    c.status = CheckStatus::kPass;
+    c.detail = std::to_string(trace.events.size()) + " events, complete";
+  }
+  return c;
+}
+
+CheckResult check_ack_certainty(const Trace& trace,
+                                const std::vector<FlightRecord>& flights) {
+  CheckResult c;
+  c.id = "ack-certainty";
+  if (!trace.schema.slots || !trace.schema.slots->ack_subslots) {
+    c.detail = "ack subslots disabled or slot structure unknown";
+    return c;
+  }
+  std::uint64_t hops = 0, exempt = 0;
+  for (const FlightRecord& f : flights) {
+    for (const Hop& h : f.hops) {
+      if (h.ack_pending_at_end) {
+        ++exempt;
+        continue;
+      }
+      ++hops;
+      if (!h.acked) {
+        c.status = CheckStatus::kFail;
+        c.detail = "hop (" + std::to_string(f.origin) + "," +
+                   std::to_string(f.seq) + ") " + std::to_string(h.from) +
+                   "->" + std::to_string(h.to) + " at slot " +
+                   std::to_string(h.rx_slot) + " never acked (Thm 3.1)";
+        return c;
+      }
+      if (h.ack_slot != h.rx_slot + 1) {
+        c.status = CheckStatus::kFail;
+        c.detail = "hop (" + std::to_string(f.origin) + "," +
+                   std::to_string(f.seq) + ") at slot " +
+                   std::to_string(h.rx_slot) + " acked at slot " +
+                   std::to_string(h.ack_slot) +
+                   ", not the next subslot (Thm 3.1)";
+        return c;
+      }
+    }
+  }
+  if (hops == 0) {
+    c.detail = "no ack-eligible hops in trace";
+    return c;
+  }
+  c.status = CheckStatus::kPass;
+  c.detail = std::to_string(hops) + " hops acked in the next subslot" +
+             (exempt ? " (" + std::to_string(exempt) +
+                           " end-of-trace hops exempt)"
+                     : "");
+  return c;
+}
+
+CheckResult check_exactly_once(const Trace& trace,
+                               const std::vector<FlightRecord>& flights) {
+  CheckResult c;
+  c.id = "exactly-once";
+  // A §4 collection guarantee. In protocols with a downbound phase (p2p,
+  // broadcast) the root overhears its children relaying data *down*, and
+  // those deliveries carry fp == root — indistinguishable at trace level
+  // from a second upbound acceptance — so the check is collection-only.
+  if (trace.schema.protocol != "collection") {
+    c.detail = "protocol is not collection";
+    return c;
+  }
+  const NodeId root = trace.schema.root();
+  if (root == kNoNode) {
+    c.detail = "no BFS levels in schema; root unknown";
+    return c;
+  }
+  std::uint64_t delivered = 0;
+  for (const FlightRecord& f : flights) {
+    std::uint64_t at_root = 0;
+    for (const Hop& h : f.hops)
+      if (h.to == root) ++at_root;
+    if (at_root > 1) {
+      c.status = CheckStatus::kFail;
+      c.detail = "payload (" + std::to_string(f.origin) + "," +
+                 std::to_string(f.seq) + ") accepted by the root " +
+                 std::to_string(at_root) + " times";
+      return c;
+    }
+    if (at_root == 1) ++delivered;
+  }
+  if (delivered == 0) {
+    c.detail = "no payload reached the root";
+    return c;
+  }
+  c.status = CheckStatus::kPass;
+  c.detail = std::to_string(delivered) + " payloads, each accepted once";
+  return c;
+}
+
+CheckResult check_prefix_monotone(const Trace& trace) {
+  CheckResult c;
+  c.id = "prefix-monotone";
+  if (trace.schema.protocol != "collection") {
+    c.detail = "protocol is not collection";
+    return c;
+  }
+  const NodeId root = trace.schema.root();
+  if (root == kNoNode) {
+    c.detail = "no BFS levels in schema; root unknown";
+    return c;
+  }
+  // FIFO relaying means the root must see each origin's seqs in
+  // increasing order; a regression would indicate queue reordering.
+  std::map<NodeId, std::uint32_t> next_seq;
+  std::uint64_t accepted = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (!is_accepted_hop(e) || e.node != root ||
+        e.kind != MsgKind::kData)
+      continue;
+    ++accepted;
+    auto [it, inserted] = next_seq.try_emplace(e.origin, e.seq);
+    if (!inserted) {
+      if (e.seq < it->second) {
+        c.status = CheckStatus::kFail;
+        c.detail = "origin " + std::to_string(e.origin) + " seq " +
+                   std::to_string(e.seq) + " reached the root after seq " +
+                   std::to_string(it->second) +
+                   "; delivered prefix not monotone";
+        return c;
+      }
+      it->second = e.seq;
+    }
+  }
+  if (accepted == 0) {
+    c.detail = "no data accepted by the root";
+    return c;
+  }
+  c.status = CheckStatus::kPass;
+  c.detail = std::to_string(accepted) +
+             " root deliveries, per-origin order monotone";
+  return c;
+}
+
+CheckResult statistical_check(const char* id, const char* what,
+                              std::uint64_t successes, std::uint64_t trials,
+                              double bound, const AuditOptions& opts) {
+  CheckResult c;
+  c.id = id;
+  c.bound = bound;
+  c.successes = successes;
+  c.trials = trials;
+  if (trials < opts.min_samples) {
+    c.detail = std::string("only ") + fmt_ratio(successes, trials) + " " +
+               what + " samples (< " + std::to_string(opts.min_samples) +
+               "); not judged";
+    return c;
+  }
+  ProportionEstimate p{successes, trials};
+  c.observed = p.point();
+  c.wilson_low = p.wilson_lower(opts.z);
+  c.wilson_high = p.wilson_upper(opts.z);
+  // A bound violation must be statistically unambiguous: fail only when
+  // even the upper Wilson limit cannot reach the theoretical rate.
+  if (c.wilson_high < bound) {
+    c.status = CheckStatus::kFail;
+    c.detail = std::string(what) + " rate " + fmt(c.observed) + " (" +
+               fmt_ratio(successes, trials) + "), Wilson upper " +
+               fmt(c.wilson_high) + " < bound " + fmt(bound);
+  } else {
+    c.status = CheckStatus::kPass;
+    c.detail = std::string(what) + " rate " + fmt(c.observed) + " (" +
+               fmt_ratio(successes, trials) + ") vs bound " + fmt(bound);
+  }
+  return c;
+}
+
+}  // namespace
+
+PhaseTallies tally_phases(const Trace& trace) {
+  PhaseTallies t;
+  if (!trace.schema.slots) return t;
+  const PhaseClock clock(*trace.schema.slots);
+  t.slots_per_phase = clock.slots_per_phase();
+  t.complete_phases = (trace.last_slot + 1) / t.slots_per_phase;
+  if (t.complete_phases == 0) return t;
+
+  const TraceSchema& sc = trace.schema;
+  const bool have_levels = sc.has_levels();
+
+  // Bit 1 = occupied / audible, bit 2 = advanced / clean-rx.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint8_t> level_phase;
+  std::map<std::pair<NodeId, std::uint64_t>, std::uint8_t> node_phase;
+
+  for (const TraceEvent& e : trace.events) {
+    const std::uint64_t phase = clock.decode(e.t).phase;
+    if (phase >= t.complete_phases) continue;
+
+    if (e.ev == EvKind::kTx && is_upbound_kind(e.kind) && have_levels) {
+      const std::uint32_t lvl = sc.level_of(e.node);
+      if (lvl != TraceSchema::kNoLevel && lvl >= 1)
+        level_phase[{lvl, phase}] |= 1;
+    } else if (e.ev == EvKind::kRx) {
+      node_phase[{e.node, phase}] |= 1 | 2;
+      if (is_accepted_hop(e) && have_levels) {
+        const std::uint32_t lvl = sc.level_of(e.from);
+        if (lvl != TraceSchema::kNoLevel && lvl >= 1)
+          level_phase[{lvl, phase}] |= 2;
+      }
+    } else if (e.ev == EvKind::kCollision && e.is_collision_genuine()) {
+      // The Decay lemma conditions on >=1 transmitting neighbor; a
+      // genuine collision is audible evidence of that. Jams (txn == 1)
+      // are fault injection, outside the lemma's model.
+      node_phase[{e.node, phase}] |= 1;
+    }
+  }
+
+  std::uint32_t max_level = 0;
+  if (have_levels)
+    for (std::uint32_t l : sc.levels)
+      if (l != TraceSchema::kNoLevel) max_level = std::max(max_level, l);
+  t.longest_starve_by_level.assign(have_levels ? max_level + 1 : 0, 0);
+
+  // level_phase is ordered (level, phase), so consecutive-phase starve
+  // streaks can be scanned in one pass per level.
+  std::uint32_t cur_level = TraceSchema::kNoLevel;
+  std::uint64_t prev_phase = 0, streak = 0;
+  for (const auto& [key, bits] : level_phase) {
+    const auto [lvl, phase] = key;
+    if ((bits & 1) == 0) continue;  // advance without local tx: not a sample
+    ++t.occupied_level_phases;
+    const bool advanced = (bits & 2) != 0;
+    if (advanced) ++t.advanced_level_phases;
+
+    if (lvl != cur_level || phase != prev_phase + 1) streak = 0;
+    cur_level = lvl;
+    prev_phase = phase;
+    if (advanced) {
+      streak = 0;
+    } else {
+      ++streak;
+      if (lvl < t.longest_starve_by_level.size())
+        t.longest_starve_by_level[lvl] =
+            std::max(t.longest_starve_by_level[lvl], streak);
+    }
+  }
+
+  for (const auto& [key, bits] : node_phase) {
+    (void)key;
+    ++t.audible_node_phases;
+    if ((bits & 2) != 0) ++t.clean_node_phases;
+  }
+  return t;
+}
+
+AuditReport audit_trace(const Trace& trace,
+                        const std::vector<FlightRecord>& flights,
+                        const AuditOptions& opts) {
+  AuditReport report;
+  report.flights_total = flights.size();
+  for (const FlightRecord& f : flights)
+    if (f.reached_root) ++report.flights_reached_root;
+
+  report.checks.push_back(check_trace_complete(trace));
+  const bool complete = report.checks.back().status == CheckStatus::kPass;
+
+  if (complete) {
+    report.checks.push_back(check_ack_certainty(trace, flights));
+    report.checks.push_back(check_exactly_once(trace, flights));
+    report.checks.push_back(check_prefix_monotone(trace));
+
+    PhaseTallies t = tally_phases(trace);
+    if (trace.schema.slots) {
+      report.checks.push_back(statistical_check(
+          "decay-reception", "audible-phase clean-reception",
+          t.clean_node_phases, t.audible_node_phases, 0.5, opts));
+      if (trace.schema.has_levels()) {
+        report.checks.push_back(statistical_check(
+            "advance-rate", "occupied-level per-phase advance",
+            t.advanced_level_phases, t.occupied_level_phases, mu_advance(),
+            opts));
+      } else {
+        CheckResult c;
+        c.id = "advance-rate";
+        c.detail = "no BFS levels in schema";
+        report.checks.push_back(c);
+      }
+    } else {
+      for (const char* id : {"decay-reception", "advance-rate"}) {
+        CheckResult c;
+        c.id = id;
+        c.detail = "no slot structure in schema";
+        report.checks.push_back(c);
+      }
+    }
+  } else {
+    // An incomplete trace certifies nothing: every other check is skipped
+    // rather than judged on a prefix.
+    for (const char* id : {"ack-certainty", "exactly-once", "prefix-monotone",
+                           "decay-reception", "advance-rate"}) {
+      CheckResult c;
+      c.id = id;
+      c.detail = "skipped: trace incomplete";
+      report.checks.push_back(c);
+    }
+  }
+
+  for (const CheckResult& c : report.checks)
+    if (c.status == CheckStatus::kFail) report.pass = false;
+  return report;
+}
+
+}  // namespace radiomc::analysis

@@ -1,0 +1,110 @@
+#pragma once
+
+// Theory-conformance auditor: replays a trace against the paper's
+// quantitative guarantees and reports pass/fail per check. Statistical
+// bounds (Decay reception, Thm 4.1 advance rate) are tested with Wilson
+// score intervals — a check fails only when the *upper* confidence bound
+// sits below the theoretical rate, so honest sampling noise never flunks
+// a run; structural guarantees (Thm 3.1 ack certainty, exactly-once,
+// prefix monotonicity) are exact.
+//
+// Checks:
+//   trace-complete     the writer dropped no events (truncation refusal)
+//   ack-certainty      every accepted data hop is acked in the very next
+//                      slot (Thm 3.1) — exact, fault-free
+//   exactly-once       each payload is accepted by the root exactly once
+//   prefix-monotone    per-origin seqs reach the root in increasing order
+//   decay-reception    P[node with >=1 audible neighbor in a phase hears
+//                      a clean message] >= 1/2 (Decay lemma, §1.4)
+//   advance-rate       P[occupied level forwards >=1 message per phase]
+//                      >= mu = e^-1 (1 - e^-1) ~ 0.2325 (Thm 4.1)
+//
+// End-of-trace exemptions: run_collection halts the instant the root
+// holds everything, mid-phase, so (a) hops whose ack subslot falls after
+// the last slot are exempt from ack-certainty and (b) the final partial
+// phase is excluded from both statistical denominators — otherwise every
+// audit of a successful run would end on a biased sample.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/lifecycle.h"
+#include "analysis/trace_event.h"
+
+namespace radiomc::analysis {
+
+/// Thm 4.1's per-phase advance probability mu = e^-1 (1 - e^-1).
+double mu_advance() noexcept;
+
+enum class CheckStatus : std::uint8_t { kPass, kFail, kSkip };
+
+struct CheckResult {
+  std::string id;
+  std::string detail;  ///< human explanation (why skipped / what failed)
+  CheckStatus status = CheckStatus::kSkip;
+
+  // Statistical checks only (trials > 0): observed proportion vs bound.
+  double observed = 0.0;
+  double bound = 0.0;
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+  double wilson_low = 0.0;
+  double wilson_high = 0.0;
+};
+
+struct AuditOptions {
+  /// Normal quantile for the Wilson intervals (~99.5% two-sided default,
+  /// matching the repo's statistical tests).
+  double z = 2.576;
+  /// Statistical checks with fewer trials than this are skipped, not
+  /// judged — intervals on a handful of samples certify nothing.
+  std::uint64_t min_samples = 8;
+};
+
+struct AuditReport {
+  std::vector<CheckResult> checks;
+  bool pass = true;  ///< no check failed (skips do not fail an audit)
+
+  // Run summary, for the report printer.
+  std::uint64_t flights_total = 0;
+  std::uint64_t flights_reached_root = 0;
+
+  const CheckResult* find(const std::string& id) const noexcept {
+    for (const CheckResult& c : checks)
+      if (c.id == id) return &c;
+    return nullptr;
+  }
+};
+
+/// Runs every applicable check. `flights` must be build_lifecycles(trace).
+AuditReport audit_trace(const Trace& trace,
+                        const std::vector<FlightRecord>& flights,
+                        const AuditOptions& opts = {});
+
+// --- Shared phase-activity tallies (auditor + anomaly scanner) ---------
+
+/// Per-(phase, level) and per-(phase, node) activity over the *complete*
+/// phases of a trace (the final partial phase is excluded; see header
+/// comment). Requires schema.slots; levels-dependent fields additionally
+/// require schema.levels.
+struct PhaseTallies {
+  std::uint64_t complete_phases = 0;
+  std::uint64_t slots_per_phase = 0;
+
+  // Thm 4.1 sample: (phase, level >= 1) pairs.
+  std::uint64_t occupied_level_phases = 0;  ///< >=1 upbound data tx at level
+  std::uint64_t advanced_level_phases = 0;  ///< occupied and >=1 accepted hop
+
+  // Decay-lemma sample: (phase, node) pairs.
+  std::uint64_t audible_node_phases = 0;  ///< >=1 clean rx or genuine coll
+  std::uint64_t clean_node_phases = 0;    ///< >=1 clean rx among those
+
+  /// Per BFS level: longest run of consecutive complete phases in which
+  /// the level was occupied but advanced nothing. Empty without levels.
+  std::vector<std::uint64_t> longest_starve_by_level;
+};
+
+PhaseTallies tally_phases(const Trace& trace);
+
+}  // namespace radiomc::analysis

@@ -1,0 +1,96 @@
+#include "analysis/lifecycle.h"
+
+#include <map>
+#include <utility>
+
+namespace radiomc::analysis {
+
+std::vector<FlightRecord> build_lifecycles(const Trace& trace) {
+  // (origin, seq) -> index into `flights`; std::map keeps the output
+  // ordered by identity, which the CLI and tests rely on.
+  std::map<std::pair<NodeId, std::uint32_t>, std::size_t> index;
+  std::vector<FlightRecord> flights;
+
+  auto flight_of = [&](NodeId origin, std::uint32_t seq) -> FlightRecord& {
+    auto [it, inserted] =
+        index.try_emplace({origin, seq}, flights.size());
+    if (inserted) {
+      FlightRecord f;
+      f.origin = origin;
+      f.seq = seq;
+      flights.push_back(f);
+    }
+    return flights[it->second];
+  };
+
+  const TraceSchema& sc = trace.schema;
+  const NodeId root = sc.root();
+
+  for (const TraceEvent& e : trace.events) {
+    if (e.ev == EvKind::kCollision) continue;
+
+    if (is_upbound_kind(e.kind)) {
+      FlightRecord& f = flight_of(e.origin, e.seq);
+      if (f.transmissions == 0 && f.hops.empty()) f.first_slot = e.t;
+      if (e.ev == EvKind::kTx) {
+        ++f.transmissions;
+        continue;
+      }
+      // Clean delivery: an accepted hop iff the transmitter named the
+      // receiver as its BFS parent (§4's accept rule).
+      if (e.from_parent == e.node && e.from != kNoNode) {
+        Hop h;
+        h.rx_slot = e.t;
+        h.from = e.from;
+        h.to = e.node;
+        h.from_level = sc.level_of(e.from);
+        h.to_level = sc.level_of(e.node);
+        f.hops.push_back(h);
+        if (root != kNoNode && e.node == root) {
+          f.reached_root = true;
+          f.completed_slot = e.t;
+        }
+      } else {
+        ++f.overheard;
+      }
+      continue;
+    }
+
+    if (e.kind == MsgKind::kAck && e.ev == EvKind::kRx) {
+      // An acknowledgement counts only when it reaches the child it names
+      // (§3: the parent acks, the child listens in the ack subslot).
+      if (e.dest != e.node) continue;
+      auto it = index.find({e.origin, e.seq});
+      if (it == index.end()) continue;
+      FlightRecord& f = flights[it->second];
+      for (Hop& h : f.hops) {
+        if (!h.acked && h.from == e.node && h.rx_slot <= e.t) {
+          h.acked = true;
+          h.ack_slot = e.t;
+          break;
+        }
+      }
+    }
+  }
+
+  // Hops whose ack subslot lies beyond the end of the trace could not
+  // have been acked even in a perfect run — run_collection halts the
+  // moment the root holds everything, mid-phase, so the final hop's ack
+  // is routinely unobservable.
+  for (FlightRecord& f : flights) {
+    for (Hop& h : f.hops) {
+      if (!h.acked && h.rx_slot + 1 > trace.last_slot)
+        h.ack_pending_at_end = true;
+    }
+  }
+  return flights;
+}
+
+const FlightRecord* find_flight(const std::vector<FlightRecord>& flights,
+                                NodeId origin, std::uint32_t seq) noexcept {
+  for (const FlightRecord& f : flights)
+    if (f.origin == origin && f.seq == seq) return &f;
+  return nullptr;
+}
+
+}  // namespace radiomc::analysis

@@ -1,0 +1,87 @@
+#pragma once
+
+// Message-lifecycle builder: joins the flat event stream back into one
+// flight record per payload identity (origin, seq) — the §4 collection
+// view of a message climbing the BFS tree hop by hop.
+//
+// A *hop* is an accepted child -> parent delivery: an rx of an upbound
+// kind whose `fp` (transmitter's BFS parent) equals the receiving node —
+// exactly the accept rule the stations apply. Overheard copies (fp !=
+// receiver) are counted but are not hops. Each hop is then matched to its
+// deterministic acknowledgement (§3): the first ack-rx at the hop's child
+// carrying the same (origin, seq) and dest == child, at or after the
+// hop's slot. Fault-free with ack subslots on, that ack lands exactly one
+// slot later (Thm 3.1) — the conformance auditor asserts this; the
+// builder merely records what it finds, including "the run ended before
+// the ack subslot", which is expected for the final hop into the root
+// because run_collection halts the moment the root holds everything.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/trace_event.h"
+
+namespace radiomc::analysis {
+
+struct Hop {
+  SlotTime rx_slot = 0;
+  NodeId from = kNoNode;  ///< child (transmitter)
+  NodeId to = kNoNode;    ///< parent (receiver)
+  std::uint32_t from_level = TraceSchema::kNoLevel;
+  std::uint32_t to_level = TraceSchema::kNoLevel;
+  bool acked = false;
+  SlotTime ack_slot = 0;  ///< valid iff acked
+  /// The run ended before the hop's ack subslot (rx_slot + 1 > last
+  /// slot): no ack could have been observed even in a perfect run.
+  bool ack_pending_at_end = false;
+
+  /// Ack round-trip latency in slots (valid iff acked).
+  SlotTime ack_latency() const noexcept {
+    return acked ? ack_slot - rx_slot : 0;
+  }
+};
+
+struct FlightRecord {
+  NodeId origin = kNoNode;
+  std::uint32_t seq = 0;
+
+  /// Every transmission carrying this payload as an upbound kind (data /
+  /// nack / setup_report), successful or not.
+  std::uint64_t transmissions = 0;
+  /// Accepted child -> parent hops, in slot order.
+  std::vector<Hop> hops;
+  /// Clean deliveries that were not accepted hops (overheard copies).
+  std::uint64_t overheard = 0;
+
+  bool reached_root = false;  ///< a hop landed on the level-0 node
+  SlotTime first_slot = 0;    ///< first transmission (or first hop)
+  SlotTime completed_slot = 0;  ///< slot of the hop into the root
+
+  /// Transmissions beyond the one-per-hop minimum. With D hops delivered,
+  /// a loss-free run with perfect slotting would need exactly D
+  /// transmissions; the excess is Decay retries plus collision losses.
+  std::uint64_t retransmissions() const noexcept {
+    const std::uint64_t need = hops.size();
+    return transmissions > need ? transmissions - need : 0;
+  }
+
+  /// Total slots this payload spent waiting between consecutive hops
+  /// (per-BFS-level waiting time, summed). 0 with fewer than two hops.
+  SlotTime total_inter_hop_wait() const noexcept {
+    SlotTime w = 0;
+    for (std::size_t i = 1; i < hops.size(); ++i)
+      w += hops[i].rx_slot - hops[i - 1].rx_slot;
+    return w;
+  }
+};
+
+/// Builds one FlightRecord per (origin, seq) seen in upbound tx/rx events,
+/// ordered by (origin, seq). Requires nothing beyond the trace itself;
+/// level annotations are filled only when the schema carries levels.
+std::vector<FlightRecord> build_lifecycles(const Trace& trace);
+
+/// Finds a flight by identity; nullptr when absent.
+const FlightRecord* find_flight(const std::vector<FlightRecord>& flights,
+                                NodeId origin, std::uint32_t seq) noexcept;
+
+}  // namespace radiomc::analysis

@@ -1,0 +1,247 @@
+#include "analysis/report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/json_writer.h"
+
+namespace radiomc::analysis {
+
+namespace {
+
+using telemetry::JsonWriter;
+
+const char* status_name(CheckStatus s) {
+  switch (s) {
+    case CheckStatus::kPass: return "pass";
+    case CheckStatus::kFail: return "FAIL";
+    case CheckStatus::kSkip: return "skip";
+  }
+  return "?";
+}
+
+void json_check(JsonWriter& w, const CheckResult& c) {
+  w.begin_object();
+  w.member("id", c.id);
+  w.member("status", status_name(c.status));
+  w.member("detail", c.detail);
+  if (c.trials > 0) {
+    w.member("observed", c.observed);
+    w.member("bound", c.bound);
+    w.member("successes", c.successes);
+    w.member("trials", c.trials);
+    w.member("wilson_low", c.wilson_low);
+    w.member("wilson_high", c.wilson_high);
+  }
+  w.end_object();
+}
+
+void json_flight(JsonWriter& w, const FlightRecord& f) {
+  w.begin_object();
+  w.member("origin", static_cast<std::uint64_t>(f.origin));
+  w.member("seq", static_cast<std::uint64_t>(f.seq));
+  w.member("transmissions", f.transmissions);
+  w.member("hops", static_cast<std::uint64_t>(f.hops.size()));
+  w.member("retransmissions", f.retransmissions());
+  w.member("overheard", f.overheard);
+  w.member("reached_root", f.reached_root);
+  w.member("first_slot", f.first_slot);
+  if (f.reached_root) w.member("completed_slot", f.completed_slot);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string report_json(const Trace& trace,
+                        const std::vector<FlightRecord>& flights,
+                        const AuditReport& audit,
+                        const AnomalyReport& anomalies) {
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
+  w.member("schema", kReportSchemaVersion);
+  w.member("trace_schema", trace.schema.version);
+  if (!trace.schema.protocol.empty())
+    w.member("protocol", trace.schema.protocol);
+
+  w.key("trace");
+  w.begin_object();
+  w.member("events", static_cast<std::uint64_t>(trace.events.size()));
+  w.member("last_slot", trace.last_slot);
+  w.member("tx", trace.tx_count);
+  w.member("rx", trace.rx_count);
+  w.member("collisions", trace.collision_count);
+  w.member("jams", trace.jam_count);
+  w.member("truncated", trace.truncated);
+  if (trace.truncated) w.member("dropped_events", trace.dropped_events);
+  w.end_object();
+
+  w.key("audit");
+  w.begin_object();
+  w.member("pass", audit.pass);
+  w.member("flights", audit.flights_total);
+  w.member("reached_root", audit.flights_reached_root);
+  w.key("checks");
+  w.begin_array();
+  for (const CheckResult& c : audit.checks) json_check(w, c);
+  w.end_array();
+  w.end_object();
+
+  w.key("anomalies");
+  w.begin_object();
+  w.member("clean", anomalies.clean());
+  w.member("stall_threshold", anomalies.stall_threshold);
+  w.key("stalls");
+  w.begin_array();
+  for (const StallWindow& s : anomalies.stalls) {
+    w.begin_object();
+    w.member("from", s.from);
+    w.member("to", s.to);
+    w.member("gap", s.gap());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("levels");
+  w.begin_array();
+  for (const LevelStats& l : anomalies.levels) {
+    w.begin_object();
+    w.member("level", static_cast<std::uint64_t>(l.level));
+    w.member("collisions", l.collisions);
+    w.member("jams", l.jams);
+    w.member("deliveries", l.deliveries);
+    w.member("hot", l.hot);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("starved");
+  w.begin_array();
+  for (const StarvedLevel& s : anomalies.starved) {
+    w.begin_object();
+    w.member("level", static_cast<std::uint64_t>(s.level));
+    w.member("phases", s.phases);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("flights");
+  w.begin_array();
+  for (const FlightRecord& f : flights) json_flight(w, f);
+  w.end_array();
+
+  w.end_object();
+  return out;
+}
+
+bool write_report_file(const std::string& path, const Trace& trace,
+                       const std::vector<FlightRecord>& flights,
+                       const AuditReport& audit,
+                       const AnomalyReport& anomalies) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << report_json(trace, flights, audit, anomalies) << '\n';
+  return out.good();
+}
+
+// --- Human-readable printers -------------------------------------------
+
+void print_audit(std::ostream& out, const AuditReport& audit) {
+  out << "audit: " << (audit.pass ? "PASS" : "FAIL") << "  ("
+      << audit.flights_reached_root << "/" << audit.flights_total
+      << " flights reached the root)\n";
+  for (const CheckResult& c : audit.checks) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-16s %-4s  %s", c.id.c_str(),
+                  status_name(c.status), c.detail.c_str());
+    out << line << '\n';
+  }
+}
+
+void print_flight_table(std::ostream& out,
+                        const std::vector<FlightRecord>& flights) {
+  out << "  origin  seq  hops  tx  retx  root  first..done\n";
+  for (const FlightRecord& f : flights) {
+    char line[160];
+    if (f.reached_root) {
+      std::snprintf(line, sizeof(line),
+                    "  %6u %4u %5zu %3llu %5llu   yes  %llu..%llu",
+                    f.origin, f.seq, f.hops.size(),
+                    static_cast<unsigned long long>(f.transmissions),
+                    static_cast<unsigned long long>(f.retransmissions()),
+                    static_cast<unsigned long long>(f.first_slot),
+                    static_cast<unsigned long long>(f.completed_slot));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %6u %4u %5zu %3llu %5llu    no  %llu..-",
+                    f.origin, f.seq, f.hops.size(),
+                    static_cast<unsigned long long>(f.transmissions),
+                    static_cast<unsigned long long>(f.retransmissions()),
+                    static_cast<unsigned long long>(f.first_slot));
+    }
+    out << line << '\n';
+  }
+}
+
+void print_flight_detail(std::ostream& out, const FlightRecord& flight) {
+  out << "flight (origin=" << flight.origin << ", seq=" << flight.seq
+      << "): " << flight.hops.size() << " hops, " << flight.transmissions
+      << " transmissions (" << flight.retransmissions() << " beyond minimum), "
+      << flight.overheard << " overheard copies"
+      << (flight.reached_root ? ", reached the root" : ", did NOT reach root")
+      << "\n";
+  for (std::size_t i = 0; i < flight.hops.size(); ++i) {
+    const Hop& h = flight.hops[i];
+    out << "  hop " << i << ": slot " << h.rx_slot << "  " << h.from;
+    if (h.from_level != TraceSchema::kNoLevel) out << " (L" << h.from_level
+                                                  << ")";
+    out << " -> " << h.to;
+    if (h.to_level != TraceSchema::kNoLevel) out << " (L" << h.to_level << ")";
+    if (h.acked) {
+      out << "  ack@" << h.ack_slot << " (+" << h.ack_latency() << ")";
+    } else if (h.ack_pending_at_end) {
+      out << "  ack pending at end of trace";
+    } else {
+      out << "  UNACKED";
+    }
+    out << '\n';
+  }
+}
+
+void print_report(std::ostream& out, const Trace& trace,
+                  const std::vector<FlightRecord>& flights,
+                  const AuditReport& audit, const AnomalyReport& anomalies) {
+  out << "trace: " << trace.schema.version;
+  if (!trace.schema.protocol.empty())
+    out << "  protocol=" << trace.schema.protocol;
+  out << "\n  events=" << trace.events.size() << " (tx=" << trace.tx_count
+      << " rx=" << trace.rx_count << " coll=" << trace.collision_count
+      << " jam=" << trace.jam_count << ")  last_slot=" << trace.last_slot;
+  if (trace.truncated)
+    out << "\n  TRUNCATED at slot " << trace.truncated_at << " ("
+        << trace.dropped_events << " events dropped)";
+  out << "\n\n";
+
+  print_audit(out, audit);
+  out << '\n';
+
+  out << "anomalies: " << (anomalies.clean() ? "none" : "flagged")
+      << "  (stall threshold " << anomalies.stall_threshold << " slots)\n";
+  for (const StallWindow& s : anomalies.stalls)
+    out << "  stall: no clean delivery in slots " << s.from << ".." << s.to
+        << " (" << s.gap() << " slots)\n";
+  for (const LevelStats& l : anomalies.levels) {
+    if (l.hot)
+      out << "  hot level " << l.level << ": " << l.collisions
+          << " genuine collisions (" << l.jams << " jams, " << l.deliveries
+          << " deliveries)\n";
+  }
+  for (const StarvedLevel& s : anomalies.starved)
+    out << "  starved level " << s.level << ": occupied "
+        << s.phases << " consecutive phases without an advance\n";
+  out << '\n';
+
+  out << "flights: " << flights.size() << "\n";
+  print_flight_table(out, flights);
+}
+
+}  // namespace radiomc::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+// Report rendering for the analysis subsystem: one JSON document
+// (`radiomc.trace.report/v1`) combining the trace summary, the audit
+// verdicts and the anomaly scan, plus the human-readable table printers
+// behind `radiomc_trace report` / `lifecycle` / `audit`.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/anomaly.h"
+#include "analysis/conformance.h"
+#include "analysis/lifecycle.h"
+#include "analysis/trace_event.h"
+
+namespace radiomc::analysis {
+
+inline constexpr const char* kReportSchemaVersion = "radiomc.trace.report/v1";
+
+/// Serializes the full report as one JSON document.
+std::string report_json(const Trace& trace,
+                        const std::vector<FlightRecord>& flights,
+                        const AuditReport& audit,
+                        const AnomalyReport& anomalies);
+
+/// Writes report_json to `path`; false on I/O failure.
+bool write_report_file(const std::string& path, const Trace& trace,
+                       const std::vector<FlightRecord>& flights,
+                       const AuditReport& audit,
+                       const AnomalyReport& anomalies);
+
+// --- Human-readable printers -------------------------------------------
+
+/// Trace summary + audit table + anomalies (the `report` subcommand).
+void print_report(std::ostream& out, const Trace& trace,
+                  const std::vector<FlightRecord>& flights,
+                  const AuditReport& audit, const AnomalyReport& anomalies);
+
+/// Audit table only (the `audit` subcommand).
+void print_audit(std::ostream& out, const AuditReport& audit);
+
+/// One-line-per-flight summary table.
+void print_flight_table(std::ostream& out,
+                        const std::vector<FlightRecord>& flights);
+
+/// Hop-by-hop timeline of one flight (the `lifecycle` subcommand with
+/// --origin/--seq).
+void print_flight_detail(std::ostream& out, const FlightRecord& flight);
+
+}  // namespace radiomc::analysis

@@ -31,7 +31,7 @@ class TraceSink {
 class ActivityCounter final : public TraceSink {
  public:
   explicit ActivityCounter(NodeId n)
-      : transmissions(n, 0), deliveries(n, 0), collisions(n, 0) {}
+      : transmissions(n, 0), deliveries(n, 0), collisions(n, 0), jams(n, 0) {}
 
   void on_transmit(SlotTime, NodeId sender, ChannelId,
                    const Message&) override {
@@ -42,19 +42,30 @@ class ActivityCounter final : public TraceSink {
     ++deliveries[receiver];
   }
   void on_collision(SlotTime, NodeId receiver, ChannelId,
-                    std::uint32_t) override {
-    ++collisions[receiver];
+                    std::uint32_t tx_neighbors) override {
+    // tx_neighbors == 1 is a jam-killed clean reception (fault injection),
+    // not a genuine collision; lumping the two inflates collision stats.
+    if (tx_neighbors >= 2) {
+      ++collisions[receiver];
+    } else {
+      ++jams[receiver];
+    }
   }
 
   std::vector<std::uint64_t> transmissions;
   std::vector<std::uint64_t> deliveries;
-  std::vector<std::uint64_t> collisions;
+  std::vector<std::uint64_t> collisions;  ///< >= 2 transmitting neighbors
+  std::vector<std::uint64_t> jams;        ///< jam-induced losses (txn == 1)
 };
 
 /// Records a bounded window of raw events (for debugging and tests).
 class EventRecorder final : public TraceSink {
  public:
-  enum class Kind : std::uint8_t { kTransmit, kDeliver, kCollision };
+  /// kTruncated is a sentinel appended exactly once when the capacity is
+  /// first exceeded, so consumers see the truncation point in-band instead
+  /// of silently reading a complete-looking prefix.
+  enum class Kind : std::uint8_t { kTransmit, kDeliver, kCollision,
+                                   kTruncated };
   struct Event {
     Kind kind;
     SlotTime slot;
@@ -92,11 +103,20 @@ class EventRecorder final : public TraceSink {
 
   const std::vector<Event>& events() const noexcept { return events_; }
   bool truncated() const noexcept { return truncated_; }
+  /// Events dropped after the capacity was reached (the kTruncated
+  /// sentinel itself is not counted).
+  std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
   void push(const Event& e) {
-    if (events_.size() >= capacity_) {
-      truncated_ = true;
+    if (events_.size() >= capacity_ + (truncated_ ? 1 : 0)) {
+      if (!truncated_) {
+        truncated_ = true;
+        // The sentinel records the slot at which recording stopped.
+        events_.push_back({Kind::kTruncated, e.slot, kNoNode, 0, false,
+                           MsgKind::kData, kNoNode, 0, 0});
+      }
+      ++dropped_;
       return;
     }
     events_.push_back(e);
@@ -104,6 +124,7 @@ class EventRecorder final : public TraceSink {
   std::size_t capacity_;
   std::vector<Event> events_;
   bool truncated_ = false;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace radiomc

@@ -356,17 +356,24 @@ TEST(JsonlTraceSink, GoldenEventStream) {
   net.run(2);
   sink.finish();
 
+  // The v2 stream leads with the schema header (here with no optional
+  // context: the sink was given no protocol/slots/levels). The engine
+  // stamps the transmitter on delivery, so rx lines carry "from"; the
+  // scripted messages have no sender_parent or dest, so "fp"/"dest" are
+  // omitted.
   const std::string expected =
+      "{\"ev\":\"schema\",\"v\":\"radiomc.trace/v2\"}\n"
       "{\"ev\":\"tx\",\"t\":0,\"node\":0,\"ch\":0,"
       "\"kind\":\"data\",\"origin\":0,\"seq\":7}\n"
       "{\"ev\":\"rx\",\"t\":0,\"node\":1,\"ch\":0,"
-      "\"kind\":\"data\",\"origin\":0,\"seq\":7}\n"
+      "\"kind\":\"data\",\"origin\":0,\"seq\":7,\"from\":0}\n"
       "{\"ev\":\"tx\",\"t\":1,\"node\":2,\"ch\":0,"
       "\"kind\":\"data\",\"origin\":2,\"seq\":9}\n"
       "{\"ev\":\"rx\",\"t\":1,\"node\":1,\"ch\":0,"
-      "\"kind\":\"data\",\"origin\":2,\"seq\":9}\n";
+      "\"kind\":\"data\",\"origin\":2,\"seq\":9,\"from\":2}\n";
   EXPECT_EQ(os.str(), expected);
-  EXPECT_EQ(sink.lines_written(), 4u);
+  EXPECT_EQ(sink.lines_written(), 5u);
+  EXPECT_FALSE(sink.truncated());
 }
 
 TEST(JsonlTraceSink, CollisionLineAndAggregates) {
@@ -392,12 +399,14 @@ TEST(JsonlTraceSink, CollisionLineAndAggregates) {
     sink.finish();
 
     const std::string expected =
+        "{\"ev\":\"schema\",\"v\":\"radiomc.trace/v2\",\"agg\":2}\n"
         "{\"ev\":\"tx\",\"t\":0,\"node\":0,\"ch\":0,"
         "\"kind\":\"data\",\"origin\":0,\"seq\":1}\n"
         "{\"ev\":\"tx\",\"t\":0,\"node\":2,\"ch\":0,"
         "\"kind\":\"data\",\"origin\":2,\"seq\":2}\n"
         "{\"ev\":\"coll\",\"t\":0,\"node\":1,\"ch\":0,\"txn\":2}\n"
-        "{\"ev\":\"agg\",\"t0\":0,\"t1\":2,\"tx\":2,\"rx\":0,\"coll\":1}\n";
+        "{\"ev\":\"agg\",\"t0\":0,\"t1\":2,\"tx\":2,\"rx\":0,\"coll\":1,"
+        "\"jam\":0}\n";
     EXPECT_EQ(os.str(), expected);
     std::istringstream is(os.str());
     for (std::string line; std::getline(is, line);)
@@ -417,9 +426,10 @@ TEST(JsonlTraceSink, CollisionLineAndAggregates) {
     net.run(2);
     sink.finish();
     EXPECT_EQ(os.str(),
+              "{\"ev\":\"schema\",\"v\":\"radiomc.trace/v2\",\"agg\":2}\n"
               "{\"ev\":\"agg\",\"t0\":0,\"t1\":2,\"tx\":2,\"rx\":0,"
-              "\"coll\":1}\n");
-    EXPECT_EQ(sink.lines_written(), 1u);
+              "\"coll\":1,\"jam\":0}\n");
+    EXPECT_EQ(sink.lines_written(), 2u);
   }
 }
 

@@ -182,8 +182,14 @@ TEST(Trace, RecorderCapacityBound) {
   net.set_trace(&rec);
   net.attach(std::move(ptrs));
   net.run(100);
-  EXPECT_EQ(rec.events().size(), 10u);
+  // Capacity + the in-band kTruncated sentinel: consumers see where the
+  // recording stopped instead of a complete-looking prefix.
+  ASSERT_EQ(rec.events().size(), 11u);
   EXPECT_TRUE(rec.truncated());
+  EXPECT_EQ(rec.events().back().kind, EventRecorder::Kind::kTruncated);
+  // 2 events/slot (tx + rx) over 100 slots = 200 total; 10 recorded, the
+  // rest counted as dropped (the sentinel itself is not an event).
+  EXPECT_EQ(rec.dropped(), 190u);
 }
 
 TEST(Trace, TokenDfsIsCollisionFreeSlotBySlot) {

@@ -17,6 +17,9 @@
 //                        spans and per-level histograms after the run
 //   --trace-out FILE     stream physical events as JSONL during the run
 //   --trace-agg N        add per-N-slot aggregate lines to the trace
+//   --trace-max N        cap event lines at N; a capped trace ends with an
+//                        explicit "truncated" record and publishes the
+//                        trace.dropped_events counter
 //
 // Fault injection (protocol commands; topo/ethernet reject the flags):
 //   --fault-crash/--fault-recover/--fault-link-down/--fault-link-up
@@ -156,6 +159,8 @@ int usage() {
       "                --metrics-out FILE  (JSON metrics + phase timeline)\n"
       "                --trace-out FILE    (JSONL physical-event trace)\n"
       "                --trace-agg N       (per-N-slot aggregate lines)\n"
+      "                --trace-max N       (cap event lines; emits a "
+      "'truncated' record)\n"
       "                --trials N          (independent repetitions; "
       "setup/flood/collect/p2p/broadcast)\n"
       "                --jobs J            (threads for --trials; 0 = all "
@@ -195,13 +200,17 @@ struct Obs {
     Obs o;
     o.metrics_path = a.get("metrics-out", "");
     const std::string trace_path = a.get("trace-out", "");
-    if (trace_path.empty())
+    if (trace_path.empty()) {
       require(!a.has("trace-agg"),
               "--trace-agg requires --trace-out: aggregate lines are part "
               "of the trace stream");
+      require(!a.has("trace-max"),
+              "--trace-max requires --trace-out: it caps the trace stream");
+    }
     if (!trace_path.empty()) {
       telemetry::JsonlOptions opt;
       opt.aggregate_every = a.get_u64("trace-agg", 0);
+      opt.max_events = a.get_u64("trace-max", 0);
       o.sink =
           std::make_unique<telemetry::JsonlTraceSink>(trace_path, opt);
       require(o.sink->ok(), "cannot open --trace-out file " + trace_path);
@@ -209,13 +218,23 @@ struct Obs {
     return o;
   }
 
-  TraceSink* trace() { return sink.get(); }
+  telemetry::JsonlTraceSink* trace() { return sink.get(); }
 
   /// Flushes the trace and writes the metrics document; `rc` passes
   /// through so commands can end with `return obs.finish(rc);`.
   int finish(int rc) {
     if (sink) {
       sink->finish();
+      tel.metrics.counter("trace.jsonl_lines").inc(sink->lines_written());
+      if (sink->truncated()) {
+        // Surface truncation loudly: the analysis auditor refuses to
+        // certify a capped trace, so the operator should know right away.
+        tel.metrics.counter("trace.dropped_events")
+            .inc(sink->dropped_events());
+        std::printf("  trace: TRUNCATED, %llu events dropped "
+                    "(--trace-max too small for this run)\n",
+                    static_cast<unsigned long long>(sink->dropped_events()));
+      }
       std::printf("  trace: %llu JSONL lines\n",
                   static_cast<unsigned long long>(sink->lines_written()));
     }
@@ -295,7 +314,8 @@ struct TrialOut {
 };
 
 using CoreFn = TrialOut (*)(const Args&, std::uint64_t seed,
-                            telemetry::Telemetry* tel, TraceSink* trace);
+                            telemetry::Telemetry* tel,
+                            telemetry::JsonlTraceSink* trace);
 
 /// Dispatch for the trial-parallel commands. Without --trials this is the
 /// historical single-run path, byte for byte. With --trials N, trial t's
@@ -417,8 +437,10 @@ int cmd_steady(const Args& a) {
 }
 
 TrialOut setup_core(const Args& a, std::uint64_t seed,
-                    telemetry::Telemetry* tel, TraceSink* trace) {
+                    telemetry::Telemetry* tel,
+                    telemetry::JsonlTraceSink* trace) {
   const FaultPlan faults = faults_from_args(a);
+  if (trace != nullptr) trace->set_protocol("setup");
   const World w =
       make_world(a, seed, true, tel, /*setup_trace=*/trace, &faults);
   TrialOut out;
@@ -447,7 +469,7 @@ TrialOut setup_core(const Args& a, std::uint64_t seed,
 int cmd_setup(const Args& a) { return run_cmd(a, setup_core); }
 
 TrialOut flood_core(const Args& a, std::uint64_t seed,
-                    telemetry::Telemetry* tel, TraceSink*) {
+                    telemetry::Telemetry* tel, telemetry::JsonlTraceSink*) {
   Rng rng(seed);
   const Graph g = gen::from_spec(a.get("topology", ""), rng);
   const NodeId source = static_cast<NodeId>(a.get_u64("source", 0));
@@ -477,7 +499,8 @@ TrialOut flood_core(const Args& a, std::uint64_t seed,
 int cmd_flood(const Args& a) { return run_cmd(a, flood_core); }
 
 TrialOut collect_core(const Args& a, std::uint64_t seed,
-                      telemetry::Telemetry* tel, TraceSink* trace) {
+                      telemetry::Telemetry* tel,
+                      telemetry::JsonlTraceSink* trace) {
   World w = make_world(a, seed, true, tel);
   Rng rng(seed ^ 0xC0);
   const std::uint64_t k = a.get_u64("k", 16);
@@ -494,6 +517,13 @@ TrialOut collect_core(const Args& a, std::uint64_t seed,
   if (a.has("no-mod3")) cfg.slots.mod3_gating = false;
   cfg.telemetry = tel;
   cfg.trace = trace;
+  if (trace != nullptr) {
+    // Record run context in the trace's schema header so radiomc_trace
+    // can decode slots and attribute events to BFS levels offline.
+    trace->set_protocol("collection");
+    trace->set_slot_structure(cfg.slots);
+    trace->set_levels(w.setup.tree.level);
+  }
   cfg.faults = faults_from_args(a);
   cfg.stall_slots = a.get_u64("fault-stall", 0);
   const auto out = run_collection(w.g, w.setup.tree, init, cfg, rng.next());
@@ -514,7 +544,8 @@ TrialOut collect_core(const Args& a, std::uint64_t seed,
 int cmd_collect(const Args& a) { return run_cmd(a, collect_core); }
 
 TrialOut p2p_core(const Args& a, std::uint64_t seed,
-                  telemetry::Telemetry* tel, TraceSink* trace) {
+                  telemetry::Telemetry* tel,
+                  telemetry::JsonlTraceSink* trace) {
   World w = make_world(a, seed, true, tel);
   Rng rng(seed ^ 0xB1);
   const std::uint64_t k = a.get_u64("k", 16);
@@ -529,6 +560,11 @@ TrialOut p2p_core(const Args& a, std::uint64_t seed,
   P2pConfig pcfg = P2pConfig::for_graph(w.g);
   pcfg.telemetry = tel;
   pcfg.trace = trace;
+  if (trace != nullptr) {
+    trace->set_protocol("p2p");
+    trace->set_slot_structure(pcfg.slots);
+    trace->set_levels(w.setup.tree.level);
+  }
   pcfg.faults = faults_from_args(a);
   pcfg.stall_slots = a.get_u64("fault-stall", 0);
   const auto out = run_point_to_point(w.g, prep, reqs, pcfg, rng.next());
@@ -547,7 +583,8 @@ TrialOut p2p_core(const Args& a, std::uint64_t seed,
 int cmd_p2p(const Args& a) { return run_cmd(a, p2p_core); }
 
 TrialOut broadcast_core(const Args& a, std::uint64_t seed,
-                        telemetry::Telemetry* tel, TraceSink* trace) {
+                        telemetry::Telemetry* tel,
+                        telemetry::JsonlTraceSink* trace) {
   World w = make_world(a, seed, true, tel);
   Rng rng(seed ^ 0xB2);
   const std::uint64_t k = a.get_u64("k", 16);
@@ -558,6 +595,10 @@ TrialOut broadcast_core(const Args& a, std::uint64_t seed,
   cfg.trace = trace;
   cfg.faults = faults_from_args(a);
   cfg.stall_slots = a.get_u64("fault-stall", 0);
+  if (trace != nullptr) {
+    trace->set_protocol("broadcast");
+    trace->set_levels(w.setup.tree.level);
+  }
   std::vector<NodeId> sources;
   for (std::uint64_t i = 0; i < k; ++i)
     sources.push_back(static_cast<NodeId>(rng.next_below(w.g.num_nodes())));
