@@ -34,9 +34,20 @@ bool is_upbound_kind(MsgKind k) noexcept {
     case MsgKind::kNack:
     case MsgKind::kSetupReport:
       return true;
-    default:
+    case MsgKind::kAck:
+    case MsgKind::kLeader:
+    case MsgKind::kBfsAnnounce:
+    case MsgKind::kDfsToken:
+    case MsgKind::kBcastData:
       return false;
   }
+  return false;
+}
+
+bool is_trace_line_kind(std::string_view ev) noexcept {
+  for (std::string_view k : kTraceLineKinds)
+    if (k == ev) return true;
+  return false;
 }
 
 }  // namespace radiomc::analysis

@@ -1,7 +1,9 @@
 #include "faults/fault_schedule.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "support/rng.h"
 
@@ -61,12 +63,25 @@ FaultSchedule::FaultSchedule(const Graph& g, const FaultPlan& plan,
     // one array lookup in the engine's hot superposition loop.
     const auto edges = g.edge_list();
     link_state_.assign(edges.size(), std::uint8_t{1});
-    std::unordered_map<std::uint64_t, std::uint32_t> id_of;
+    // Build-once key -> edge-id index as a sorted vector: deterministic by
+    // construction, and binary search beats hashing at these sizes.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> id_of;
     id_of.reserve(edges.size());
     for (std::uint32_t i = 0; i < edges.size(); ++i)
-      id_of.emplace((static_cast<std::uint64_t>(edges[i].first) << 32) |
-                        edges[i].second,
-                    i);
+      id_of.emplace_back((static_cast<std::uint64_t>(edges[i].first) << 32) |
+                             edges[i].second,
+                         i);
+    std::sort(id_of.begin(), id_of.end());
+    const auto edge_id_of = [&id_of](std::uint64_t key) -> std::uint32_t {
+      const auto it = std::lower_bound(
+          id_of.begin(), id_of.end(), key,
+          [](const auto& e, std::uint64_t k) { return e.first < k; });
+      // Every neighbor pair is in the edge list by construction; fail as
+      // loudly as the unordered_map::at this replaced if that ever breaks.
+      if (it == id_of.end() || it->first != key)
+        throw std::out_of_range("FaultSchedule: neighbor pair not an edge");
+      return it->second;
+    };
     offset_.assign(g.num_nodes() + 1, 0);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
       offset_[v + 1] = offset_[v] + g.degree(v);
@@ -78,7 +93,7 @@ FaultSchedule::FaultSchedule(const Graph& g, const FaultPlan& plan,
         const std::uint64_t key =
             (static_cast<std::uint64_t>(std::min(u, w)) << 32) |
             std::max(u, w);
-        edge_id_[offset_[u] + k] = id_of.at(key);
+        edge_id_[offset_[u] + k] = edge_id_of(key);
       }
     }
   }

@@ -1,0 +1,656 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "lint/lexer.h"
+
+namespace radiomc::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path helpers. Rules match directory suffixes so the tool works whether it
+// is handed absolute paths, repo-relative paths, or fixture names.
+// ---------------------------------------------------------------------------
+
+/// True iff `path` contains `dir` as a complete path-component prefix
+/// somewhere, e.g. in_dir("/root/repo/src/protocols/x.cpp", "src/protocols").
+bool in_dir(std::string_view path, std::string_view dir) {
+  std::string needle = std::string(dir) + "/";
+  for (std::size_t pos = path.find(needle); pos != std::string_view::npos;
+       pos = path.find(needle, pos + 1)) {
+    if (pos == 0 || path[pos - 1] == '/') return true;
+  }
+  return false;
+}
+
+std::string_view basename_of(std::string_view path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+bool is_header(std::string_view path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+bool is_rng_support(std::string_view path) {
+  const std::string_view base = basename_of(path);
+  return in_dir(path, "src/support") && (base == "rng.h" || base == "rng.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Waivers.
+// ---------------------------------------------------------------------------
+
+struct Waiver {
+  int line = 0;
+  std::string rule;
+  std::string reason;
+  bool used = false;
+};
+
+std::string trim(std::string s) {
+  const auto issp = [](char c) { return c == ' ' || c == '\t'; };
+  while (!s.empty() && issp(s.front())) s.erase(s.begin());
+  while (!s.empty() && issp(s.back())) s.pop_back();
+  return s;
+}
+
+std::vector<Waiver> parse_waivers(const LexedFile& f) {
+  std::vector<Waiver> out;
+  for (const Comment& c : f.comments) {
+    const std::size_t tag = c.text.find("radiomc-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t open = c.text.find("allow(", tag);
+    if (open == std::string::npos) continue;
+    const std::size_t close = c.text.find(')', open);
+    if (close == std::string::npos) continue;
+    Waiver w;
+    w.line = c.line;
+    w.rule = trim(c.text.substr(open + 6, close - open - 6));
+    const std::size_t reason = c.text.find("reason=", close);
+    if (reason != std::string::npos)
+      w.reason = trim(c.text.substr(reason + 7));
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared token-walk helpers.
+// ---------------------------------------------------------------------------
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+/// Emits one finding.
+void report(std::vector<Finding>* out, std::string rule, const LexedFile& f,
+            int line, std::string message) {
+  out->push_back(
+      {std::move(rule), f.path, line, std::move(message), false, {}});
+}
+
+// ---------------------------------------------------------------------------
+// determinism / no-raw-random + no-wall-clock
+// ---------------------------------------------------------------------------
+
+/// Idents banned wherever they appear (their very mention means a
+/// nondeterministic source was reached for).
+const std::set<std::string_view> kBannedRandomTypes = {
+    "random_device", "mt19937",      "mt19937_64", "default_random_engine",
+    "minstd_rand",   "minstd_rand0", "knuth_b",    "random_shuffle"};
+
+/// Idents banned as direct (possibly std::-qualified) calls.
+const std::set<std::string_view> kBannedRandomCalls = {"rand", "srand",
+                                                       "drand48", "srand48",
+                                                       "lrand48"};
+
+const std::set<std::string_view> kBannedClockTypes = {
+    "system_clock", "high_resolution_clock", "gettimeofday", "localtime",
+    "gmtime"};
+const std::set<std::string_view> kBannedClockCalls = {"time"};
+
+/// True when token i is a free or std::-qualified call of its name — i.e.
+/// not a member access (`x.rand()`) and not qualified by a non-std scope.
+bool is_free_or_std_call(const LexedFile& f, std::size_t i) {
+  if (i + 1 >= f.tokens.size() || !is_punct(f.tokens[i + 1], "(")) return false;
+  if (i == 0) return true;
+  const Token& prev = f.tokens[i - 1];
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+  if (is_punct(prev, "::"))
+    return i >= 2 && is_ident(f.tokens[i - 2], "std");
+  return true;
+}
+
+void rule_banned_idents(const LexedFile& f, std::vector<Finding>* out) {
+  if (!in_dir(f.path, "src")) return;
+  const bool rng_impl = is_rng_support(f.path);
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (!rng_impl) {
+      if (kBannedRandomTypes.count(t.text)) {
+        report(out, "no-raw-random", f, t.line,
+               "'" + t.text +
+                   "' in src/: all randomness must flow from the run seed "
+                   "through support/rng.h (Rng::split), or trials stop being "
+                   "reproducible");
+        continue;
+      }
+      if (kBannedRandomCalls.count(t.text) && is_free_or_std_call(f, i)) {
+        report(out, "no-raw-random", f, t.line,
+               "'" + t.text +
+                   "()' in src/: use the seeded Rng from support/rng.h");
+        continue;
+      }
+    }
+    if (kBannedClockTypes.count(t.text)) {
+      report(out, "no-wall-clock", f, t.line,
+             "'" + t.text +
+                 "' in src/: wall-clock time is nondeterministic; simulated "
+                 "time is SlotTime, and perf timing uses steady_clock / "
+                 "std::clock in support/parallel.h");
+      continue;
+    }
+    if (kBannedClockCalls.count(t.text) && is_free_or_std_call(f, i)) {
+      report(out, "no-wall-clock", f, t.line,
+             "'" + t.text +
+                 "()' in src/: wall-clock reads make runs irreproducible");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism / unordered-container
+// ---------------------------------------------------------------------------
+
+const std::set<std::string_view> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+bool in_deterministic_zone(std::string_view path) {
+  return in_dir(path, "src/protocols") || in_dir(path, "src/faults") ||
+         in_dir(path, "src/radio") || in_dir(path, "src/telemetry") ||
+         in_dir(path, "src/support");
+}
+
+void rule_unordered_container(const LexedFile& f, std::vector<Finding>* out) {
+  if (!in_deterministic_zone(f.path)) return;
+  for (const Token& t : f.tokens) {
+    if (t.kind == Token::Kind::kIdent && kUnorderedTypes.count(t.text)) {
+      report(out, "unordered-container", f, t.line,
+             "std::" + t.text +
+                 " on a deterministic path: iteration order is unspecified "
+                 "and one range-for away from breaking byte-identical "
+                 "trials; use an ordered container or a sorted drain, or "
+                 "waive with a reason explaining why order can never leak");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// model-purity / engine-include + analysis-offline
+// ---------------------------------------------------------------------------
+
+/// The radio/ surface a protocol *header* may see. Stations are the model:
+/// they observe the channel only through messages, slot structure and the
+/// Station interfaces. Driver .cpp files may include radio/network.h to
+/// host stations on the engine — the engine is the experimental apparatus,
+/// not part of the per-node model.
+const std::set<std::string_view> kProtocolRadioAllowlist = {
+    "radio/message.h", "radio/station.h", "radio/schedule.h",
+    "radio/trace.h"};
+
+void rule_engine_include(const LexedFile& f, std::vector<Finding>* out) {
+  if (!in_dir(f.path, "src/protocols") || !is_header(f.path)) return;
+  for (const IncludeDirective& inc : f.includes) {
+    if (inc.angled || !inc.path.starts_with("radio/")) continue;
+    if (kProtocolRadioAllowlist.count(std::string_view(inc.path))) continue;
+    report(out, "engine-include", f, inc.line,
+           "protocol header includes \"" + inc.path +
+               "\": station declarations may touch the channel only via "
+               "radio/station.h / radio/schedule.h; engine access "
+               "(RadioNetwork) belongs in the driver .cpp");
+  }
+}
+
+void rule_analysis_offline(const LexedFile& f, std::vector<Finding>* out) {
+  if (!(in_dir(f.path, "src/protocols") || in_dir(f.path, "src/radio") ||
+        in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines") ||
+        in_dir(f.path, "src/telemetry")))
+    return;
+  for (const IncludeDirective& inc : f.includes) {
+    if (!inc.angled && inc.path.starts_with("analysis/")) {
+      report(out, "analysis-offline", f, inc.line,
+             "includes \"" + inc.path +
+                 "\": the trace auditor is offline-only — protocols and the "
+                 "engine must never see src/analysis/, or a protocol could "
+                 "base decisions on its own flight recorder");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// telemetry / hub-null-check
+// ---------------------------------------------------------------------------
+
+const std::set<std::string_view> kHubPointerTypes = {"TelemetryHub",
+                                                     "TraceSink"};
+
+/// Names declared anywhere in the scanned set as `TelemetryHub* x = nullptr`
+/// or `TraceSink* x = nullptr` — the optional-observability config-field
+/// idiom. Dereferences of fields with these names must be null-guarded.
+std::set<std::string> collect_hub_fields(const std::vector<LexedFile>& files) {
+  std::set<std::string> names;
+  for (const LexedFile& f : files) {
+    for (std::size_t i = 0; i + 4 < f.tokens.size(); ++i) {
+      if (f.tokens[i].kind == Token::Kind::kIdent &&
+          kHubPointerTypes.count(f.tokens[i].text) &&
+          is_punct(f.tokens[i + 1], "*") &&
+          f.tokens[i + 2].kind == Token::Kind::kIdent &&
+          is_punct(f.tokens[i + 3], "=") &&
+          is_ident(f.tokens[i + 4], "nullptr")) {
+        names.insert(f.tokens[i + 2].text);
+      }
+    }
+  }
+  return names;
+}
+
+struct HubCheckState {
+  std::set<std::string> hub_names;  ///< effective pointer names for this file
+  std::vector<std::set<std::string>> guard_frames;  ///< per function body
+};
+
+void rule_hub_null_check(const LexedFile& f,
+                         const std::set<std::string>& global_fields,
+                         std::vector<Finding>* out) {
+  if (!in_dir(f.path, "src") && !in_dir(f.path, "tools")) return;
+
+  HubCheckState st;
+  st.hub_names = global_fields;
+  // Local declarations (params, locals, fields) of the hub pointer types
+  // count even without `= nullptr`; a declaration of the same name with a
+  // *different* pointer type shadows the global field name for this file
+  // (e.g. a parser whose `trace` member is a Trace*, not a TraceSink*).
+  for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+    if (f.tokens[i].kind != Token::Kind::kIdent ||
+        !is_punct(f.tokens[i + 1], "*") ||
+        f.tokens[i + 2].kind != Token::Kind::kIdent)
+      continue;
+    const std::string& type = f.tokens[i].text;
+    const std::string& name = f.tokens[i + 2].text;
+    if (kHubPointerTypes.count(type)) {
+      st.hub_names.insert(name);
+    } else if (i + 3 < f.tokens.size()) {
+      const Token& after = f.tokens[i + 3];
+      if (is_punct(after, ";") || is_punct(after, "=") ||
+          is_punct(after, ",") || is_punct(after, ")"))
+        st.hub_names.erase(name);
+    }
+  }
+  if (st.hub_names.empty()) return;
+
+  const auto& tok = f.tokens;
+  std::vector<int> body_depth_stack;  // brace depth at each function entry
+  int depth = 0;
+  const auto guards = [&]() -> std::set<std::string>* {
+    return st.guard_frames.empty() ? nullptr : &st.guard_frames.back();
+  };
+  const auto guarded = [&](const std::string& path) {
+    for (const auto& frame : st.guard_frames)
+      if (frame.count(path)) return true;
+    return false;
+  };
+
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    const Token& t = tok[i];
+    if (is_punct(t, "{")) {
+      // A `{` preceded by `)` (skipping cv/ref/exception suffixes) opens a
+      // function or lambda body: fresh guard frame.
+      std::size_t j = i;
+      while (j > 0) {
+        const Token& p = tok[j - 1];
+        if (p.kind == Token::Kind::kIdent &&
+            (p.text == "const" || p.text == "noexcept" ||
+             p.text == "override" || p.text == "final" ||
+             p.text == "mutable" || p.text == "try"))
+          --j;
+        else
+          break;
+      }
+      ++depth;
+      if (j > 0 && is_punct(tok[j - 1], ")")) {
+        st.guard_frames.emplace_back();
+        body_depth_stack.push_back(depth);
+      }
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!body_depth_stack.empty() && body_depth_stack.back() == depth) {
+        body_depth_stack.pop_back();
+        st.guard_frames.pop_back();
+      }
+      --depth;
+      continue;
+    }
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (i > 0 && (is_punct(tok[i - 1], ".") || is_punct(tok[i - 1], "->") ||
+                  is_punct(tok[i - 1], "::")))
+      continue;  // not the head of a chain
+
+    // Walk the access chain a.b->c..., checking each -> dereference.
+    std::string path = t.text;
+    std::string last = t.text;
+    std::size_t j = i;
+    while (j + 2 < tok.size() &&
+           (is_punct(tok[j + 1], ".") || is_punct(tok[j + 1], "->")) &&
+           tok[j + 2].kind == Token::Kind::kIdent) {
+      if (is_punct(tok[j + 1], "->") && st.hub_names.count(last) &&
+          !guarded(path)) {
+        report(out, "hub-null-check", f, tok[j + 1].line,
+               "unchecked dereference of optional telemetry/trace pointer "
+               "'" + path +
+                   "': guard with `if (" + path +
+                   " != nullptr)` so instrumentation stays optional");
+        if (guards()) guards()->insert(path);  // one finding per site
+      }
+      path += tok[j + 1].text;
+      last = tok[j + 2].text;
+      path += last;
+      j += 2;
+    }
+
+    // `*chain` unary dereference (e.g. `Telemetry& tel = *cfg.telemetry;`).
+    if (st.hub_names.count(last) && i > 0 && is_punct(tok[i - 1], "*")) {
+      const bool unary =
+          i < 2 || tok[i - 2].kind == Token::Kind::kPunct ||
+          is_ident(tok[i - 2], "return");
+      if (unary && !(i >= 2 && is_punct(tok[i - 2], ")")) && !guarded(path)) {
+        report(out, "hub-null-check", f, tok[i - 1].line,
+               "unchecked dereference of optional telemetry/trace pointer "
+               "'*" + path +
+                   "': guard with `if (" + path + " != nullptr)`");
+        if (guards()) guards()->insert(path);
+      }
+    }
+
+    // Guard registration: any null comparison, `if (p)`, `!p`, or `p &&`.
+    if (st.hub_names.count(last) && guards() != nullptr) {
+      const Token* next = j + 1 < tok.size() ? &tok[j + 1] : nullptr;
+      const Token* prev = i > 0 ? &tok[i - 1] : nullptr;
+      bool guard = false;
+      if (next != nullptr &&
+          (is_punct(*next, "!=") || is_punct(*next, "==")) &&
+          j + 2 < tok.size() && is_ident(tok[j + 2], "nullptr"))
+        guard = true;
+      if (prev != nullptr && (is_punct(*prev, "!=") || is_punct(*prev, "==")))
+        guard = true;  // nullptr == p
+      if (prev != nullptr && is_punct(*prev, "!")) guard = true;
+      if (prev != nullptr && is_punct(*prev, "(") && i >= 2 &&
+          (is_ident(tok[i - 2], "if") || is_ident(tok[i - 2], "while")) &&
+          next != nullptr && is_punct(*next, ")"))
+        guard = true;
+      if ((next != nullptr && is_punct(*next, "&&")) ||
+          (prev != nullptr && is_punct(*prev, "&&")))
+        guard = true;
+      if (guard) guards()->insert(path);
+    }
+
+    i = j;  // skip the consumed chain
+  }
+}
+
+// ---------------------------------------------------------------------------
+// telemetry / trace-kind-table (cross-file)
+// ---------------------------------------------------------------------------
+
+void rule_trace_kind_table(const std::vector<LexedFile>& files,
+                           std::vector<Finding>* out) {
+  const LexedFile* sink = nullptr;
+  const LexedFile* table_file = nullptr;
+  for (const LexedFile& f : files) {
+    const std::string_view base = basename_of(f.path);
+    if (base == "jsonl_sink.cpp") sink = &f;
+    if (base == "trace_event.h") table_file = &f;
+  }
+  if (sink == nullptr) return;
+
+  // Every `ev` kind the writer emits: member("ev", "<kind>") for structural
+  // lines, event_line("<kind>", ...) for physical events.
+  std::vector<std::pair<std::string, int>> emitted;
+  const auto& tok = sink->tokens;
+  for (std::size_t i = 0; i + 1 < tok.size(); ++i) {
+    if (is_ident(tok[i], "member") && i + 4 < tok.size() &&
+        is_punct(tok[i + 1], "(") &&
+        tok[i + 2].kind == Token::Kind::kString && tok[i + 2].text == "ev" &&
+        is_punct(tok[i + 3], ",") &&
+        tok[i + 4].kind == Token::Kind::kString) {
+      emitted.emplace_back(tok[i + 4].text, tok[i + 4].line);
+    }
+    if (is_ident(tok[i], "event_line") && i + 2 < tok.size() &&
+        is_punct(tok[i + 1], "(") &&
+        tok[i + 2].kind == Token::Kind::kString) {
+      emitted.emplace_back(tok[i + 2].text, tok[i + 2].line);
+    }
+  }
+  if (emitted.empty()) return;
+
+  // The canonical kind table: kTraceLineKinds in analysis/trace_event.h.
+  std::map<std::string, int> table;
+  if (table_file != nullptr) {
+    const auto& tt = table_file->tokens;
+    for (std::size_t i = 0; i < tt.size(); ++i) {
+      if (!is_ident(tt[i], "kTraceLineKinds")) continue;
+      std::size_t j = i;
+      while (j < tt.size() && !is_punct(tt[j], "{")) ++j;
+      for (++j; j < tt.size() && !is_punct(tt[j], "}"); ++j) {
+        if (tt[j].kind == Token::Kind::kString)
+          table.emplace(tt[j].text, tt[j].line);
+      }
+      break;
+    }
+  }
+  if (table.empty()) {
+    report(out, "trace-kind-table", *sink, emitted.front().second,
+           "jsonl_sink.cpp emits trace `ev` kinds but no kTraceLineKinds "
+           "table was found in analysis/trace_event.h — the v2 schema has "
+           "no source of truth to drift-check against");
+    return;
+  }
+
+  std::set<std::string> used;
+  for (const auto& [kind, line] : emitted) {
+    used.insert(kind);
+    if (!table.count(kind)) {
+      report(out, "trace-kind-table", *sink, line,
+             "trace line kind \"" + kind +
+                 "\" is not in kTraceLineKinds (analysis/trace_event.h): "
+                 "the writer and the v2 schema have drifted");
+    }
+  }
+  for (const auto& [kind, line] : table) {
+    if (!used.count(kind)) {
+      report(out, "trace-kind-table", *table_file, line,
+             "kTraceLineKinds entry \"" + kind +
+                 "\" is never emitted by telemetry/jsonl_sink.cpp: stale "
+                 "schema entry (or the writer lost a line kind)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// exhaustiveness / switch-default
+// ---------------------------------------------------------------------------
+
+const std::set<std::string_view> kClosedEnums = {"RunStatus", "MsgKind",
+                                                 "EvKind"};
+
+/// Parses the switch whose `switch` keyword is at token i; returns the
+/// index one past its closing `}` (or tokens.size()). Recurses into nested
+/// switches so their labels are not attributed to the outer one.
+std::size_t scan_switch(const LexedFile& f, std::size_t i,
+                        std::vector<Finding>* out) {
+  const auto& tok = f.tokens;
+  std::size_t j = i + 1;
+  while (j < tok.size() && !is_punct(tok[j], "{")) ++j;  // past (cond)
+  if (j >= tok.size()) return tok.size();
+  int depth = 1;
+  bool watched = false;
+  std::vector<int> default_lines;
+  for (++j; j < tok.size() && depth > 0; ++j) {
+    const Token& t = tok[j];
+    if (is_punct(t, "{")) {
+      ++depth;
+    } else if (is_punct(t, "}")) {
+      --depth;
+    } else if (is_ident(t, "switch")) {
+      j = scan_switch(f, j, out) - 1;  // nested switch: skip its body
+    } else if (is_ident(t, "case")) {
+      // Collect the scope qualifiers of the label (Foo::Bar::kBaz).
+      std::size_t k = j + 1;
+      while (k + 1 < tok.size() && tok[k].kind == Token::Kind::kIdent &&
+             is_punct(tok[k + 1], "::")) {
+        if (kClosedEnums.count(tok[k].text)) watched = true;
+        k += 2;
+      }
+      j = k;
+    } else if (is_ident(t, "default") && j + 1 < tok.size() &&
+               is_punct(tok[j + 1], ":")) {
+      default_lines.push_back(t.line);
+    }
+  }
+  if (watched) {
+    for (int line : default_lines) {
+      report(out, "switch-default", f, line,
+             "default: on a switch over a closed model enum (RunStatus / "
+             "MsgKind / EvKind) silences -Wswitch — enumerate every value "
+             "so adding one forces every switch to be revisited");
+    }
+  }
+  return j;
+}
+
+void rule_switch_default(const LexedFile& f, std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (is_ident(f.tokens[i], "switch")) i = scan_switch(f, i, out) - 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Catalog + driver.
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kCatalog = {
+    {"no-raw-random", "determinism",
+     "std::random_device / rand() / engine types outside support/rng.*"},
+    {"no-wall-clock", "determinism",
+     "time() / system_clock reads in simulation code"},
+    {"unordered-container", "determinism",
+     "unordered_{map,set} in protocols/faults/radio/telemetry/support"},
+    {"engine-include", "model-purity",
+     "protocol headers reaching past radio/station.h + schedule.h"},
+    {"analysis-offline", "model-purity",
+     "src/analysis/ included from protocols, radio, faults or telemetry"},
+    {"hub-null-check", "telemetry",
+     "unguarded dereference of optional TelemetryHub*/TraceSink*"},
+    {"trace-kind-table", "telemetry",
+     "jsonl_sink.cpp `ev` kinds vs the trace_event.h kind table"},
+    {"switch-default", "exhaustiveness",
+     "default: on switches over RunStatus / MsgKind / EvKind"},
+    {"unused-waiver", "hygiene",
+     "radiomc-lint: allow(...) comment that suppresses nothing"},
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() { return kCatalog; }
+
+std::size_t count_unwaived(const std::vector<Finding>& findings) {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (!f.waived) ++n;
+  return n;
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LintOptions& opt) {
+  std::set<std::string> selected(opt.only_rules.begin(),
+                                 opt.only_rules.end());
+  const auto enabled = [&](std::string_view id) {
+    return selected.empty() || selected.count(std::string(id)) != 0;
+  };
+
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& f : files)
+    lexed.push_back(lex_source(f.path, f.content));
+
+  std::vector<Finding> findings;
+  const std::set<std::string> hub_fields = collect_hub_fields(lexed);
+  for (const LexedFile& f : lexed) {
+    if (enabled("no-raw-random") || enabled("no-wall-clock")) {
+      std::vector<Finding> both;
+      rule_banned_idents(f, &both);
+      for (Finding& fi : both)
+        if (enabled(fi.rule)) findings.push_back(std::move(fi));
+    }
+    if (enabled("unordered-container")) rule_unordered_container(f, &findings);
+    if (enabled("engine-include")) rule_engine_include(f, &findings);
+    if (enabled("analysis-offline")) rule_analysis_offline(f, &findings);
+    if (enabled("hub-null-check"))
+      rule_hub_null_check(f, hub_fields, &findings);
+    if (enabled("switch-default")) rule_switch_default(f, &findings);
+  }
+  if (enabled("trace-kind-table")) rule_trace_kind_table(lexed, &findings);
+
+  // Waiver application: a waiver on line L covers findings of its rule on
+  // lines L and L+1 of the same file.
+  std::set<std::string> known_rules;
+  for (const RuleInfo& r : kCatalog) known_rules.insert(std::string(r.id));
+  for (const LexedFile& f : lexed) {
+    std::vector<Waiver> waivers = parse_waivers(f);
+    if (waivers.empty()) continue;
+    for (Finding& fi : findings) {
+      if (fi.file != f.path) continue;
+      for (Waiver& w : waivers) {
+        if (w.rule == fi.rule &&
+            (w.line == fi.line || w.line + 1 == fi.line)) {
+          fi.waived = true;
+          fi.waiver_reason = w.reason;
+          w.used = true;
+        }
+      }
+    }
+    if (enabled("unused-waiver")) {
+      for (const Waiver& w : waivers) {
+        if (w.used) continue;
+        const bool unknown = known_rules.count(w.rule) == 0;
+        findings.push_back(
+            {"unused-waiver", f.path, w.line,
+             unknown ? "waiver names unknown rule '" + w.rule + "'"
+                     : "waiver for '" + w.rule +
+                           "' suppresses nothing here — delete it (stale "
+                           "waivers hide future regressions)",
+             false,
+             {}});
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace radiomc::lint

@@ -1,0 +1,61 @@
+#pragma once
+
+// radiomc_lint rule engine.
+//
+// Each rule enforces one project invariant as a named, individually
+// waivable check (see docs/STATIC_ANALYSIS.md for the catalog). Rules run
+// over the lexed token streams of src/lint/lexer.h, so comments and
+// string literals cannot produce false positives, and a few rules are
+// cross-file (the trace kind table, the telemetry-pointer field set).
+//
+// Waivers: a finding on line L is suppressed by a comment on line L or
+// L-1 carrying the `radiomc-lint:` marker followed by an
+// allow(rule-id) clause and an optional reason=free-text tail (the two
+// parts must share one comment; see docs/STATIC_ANALYSIS.md for examples).
+// Waived findings are still reported (with their reason) but do not fail
+// the run; a waiver that suppresses nothing is itself a finding
+// (`unused-waiver`), so stale waivers cannot rot in the tree.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace radiomc::lint {
+
+struct SourceFile {
+  std::string path;     ///< repo-relative or absolute; rules match suffixes
+  std::string content;  ///< full file text
+};
+
+struct Finding {
+  std::string rule;     ///< rule id, e.g. "no-raw-random"
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool waived = false;
+  std::string waiver_reason;  ///< nonempty iff waived and a reason was given
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view family;  ///< determinism | model-purity | telemetry | exhaustiveness | hygiene
+  std::string_view summary;
+};
+
+/// The full rule catalog, in reporting order.
+const std::vector<RuleInfo>& rule_catalog();
+
+struct LintOptions {
+  /// When nonempty, only these rule ids run (unknown ids are ignored).
+  std::vector<std::string> only_rules;
+};
+
+/// Runs every (selected) rule over `files` and returns all findings —
+/// waived ones included — sorted by (file, line, rule).
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LintOptions& opt = {});
+
+/// Unwaived findings only (what the CLI exits nonzero on).
+std::size_t count_unwaived(const std::vector<Finding>& findings);
+
+}  // namespace radiomc::lint

@@ -21,7 +21,6 @@
 
 #include "protocols/decay.h"
 #include "protocols/tree.h"
-#include "radio/network.h"
 #include "radio/station.h"
 #include "support/rng.h"
 

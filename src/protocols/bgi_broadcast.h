@@ -16,7 +16,6 @@
 
 #include "faults/fault_plan.h"
 #include "protocols/decay.h"
-#include "radio/network.h"
 #include "radio/schedule.h"
 #include "radio/station.h"
 #include "support/rng.h"

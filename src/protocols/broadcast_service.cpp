@@ -63,7 +63,13 @@ BroadcastService::BroadcastService(const Graph& g, const BfsTree& tree,
           case MsgKind::kSetupReport:
             root_dist->root_checkpoint_ack(m.origin, m.aux);
             break;
-          default:
+          // The collection channel can only surface upbound kinds at the
+          // root; anything else is ignored rather than fed downstream.
+          case MsgKind::kAck:
+          case MsgKind::kLeader:
+          case MsgKind::kBfsAnnounce:
+          case MsgKind::kDfsToken:
+          case MsgKind::kBcastData:
             break;
         }
       });

@@ -18,6 +18,9 @@
 #include "protocols/collection.h"
 #include "protocols/distribution.h"
 #include "protocols/tree.h"
+// BroadcastService is a driver-in-a-header: it owns the RadioNetwork the
+// collection + distribution stacks run on (its stations stay model-pure).
+// radiomc-lint: allow(engine-include) reason=service owns the engine it hosts stations on
 #include "radio/network.h"
 #include "radio/station.h"
 #include "support/rng.h"

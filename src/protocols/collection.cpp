@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "radio/network.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -14,9 +15,14 @@ bool is_upbound_kind(MsgKind k) {
     case MsgKind::kNack:
     case MsgKind::kSetupReport:
       return true;
-    default:
+    case MsgKind::kAck:
+    case MsgKind::kLeader:
+    case MsgKind::kBfsAnnounce:
+    case MsgKind::kDfsToken:
+    case MsgKind::kBcastData:
       return false;
   }
+  return false;
 }
 
 }  // namespace

@@ -27,7 +27,6 @@
 #include <vector>
 
 #include "protocols/tree.h"
-#include "radio/network.h"
 #include "radio/station.h"
 
 namespace radiomc {

@@ -33,7 +33,6 @@
 
 #include "protocols/decay.h"
 #include "protocols/tree.h"
-#include "radio/network.h"
 #include "radio/schedule.h"
 #include "radio/station.h"
 #include "support/rng.h"

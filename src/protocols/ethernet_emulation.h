@@ -36,6 +36,9 @@
 #include "protocols/collection.h"
 #include "protocols/distribution.h"
 #include "protocols/tree.h"
+// The emulation layer (§1.3) is itself the "wire": it owns the
+// RadioNetwork that plays the single-hop ethernet segment.
+// radiomc-lint: allow(engine-include) reason=emulation owns the virtual bus engine
 #include "radio/network.h"
 #include "support/rng.h"
 

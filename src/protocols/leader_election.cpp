@@ -4,6 +4,7 @@
 #include <deque>
 #include <memory>
 
+#include "radio/network.h"
 #include "support/util.h"
 
 namespace radiomc {

@@ -20,7 +20,6 @@
 #include <vector>
 
 #include "protocols/decay.h"
-#include "radio/network.h"
 #include "radio/station.h"
 #include "support/rng.h"
 

@@ -1,9 +1,11 @@
 #include "protocols/point_to_point.h"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 
+#include "radio/network.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -213,15 +215,27 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   }
 
   // Inject the requests; remember (origin, seq) -> request index so the
-  // driver can time each delivery.
-  std::unordered_map<std::uint64_t, std::size_t> tag_to_request;
+  // driver can time each delivery. The request set is fixed up front, so a
+  // sorted vector gives deterministic, allocation-free lookups.
+  std::vector<std::pair<std::uint64_t, std::size_t>> tag_to_request;
+  tag_to_request.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const P2pRequest& r = requests[i];
     require(r.src < n && r.dst < n, "run_point_to_point: bad request");
     const std::uint32_t addr = prep.labels.number[r.dst];
     const std::uint32_t seq = ups[r.src]->send(addr, r.payload);
-    tag_to_request[(static_cast<std::uint64_t>(r.src) << 32) | seq] = i;
+    tag_to_request.emplace_back(
+        (static_cast<std::uint64_t>(r.src) << 32) | seq, i);
   }
+  std::sort(tag_to_request.begin(), tag_to_request.end());
+  const auto find_request =
+      [&tag_to_request](std::uint64_t tag) -> const std::size_t* {
+    const auto it = std::lower_bound(
+        tag_to_request.begin(), tag_to_request.end(), tag,
+        [](const auto& e, std::uint64_t t) { return e.first < t; });
+    return it != tag_to_request.end() && it->first == tag ? &it->second
+                                                          : nullptr;
+  };
 
   std::deque<ChannelMuxStation> muxes;
   std::vector<Station*> ptrs;
@@ -251,12 +265,12 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
         const auto& d = su[up_seen[v]];
         const std::uint64_t tag =
             (static_cast<std::uint64_t>(d.msg.origin) << 32) | d.msg.seq;
-        if (auto it = tag_to_request.find(tag); it != tag_to_request.end()) {
+        if (const std::size_t* req = find_request(tag)) {
           // First copy only: a lost ack (fault injection) makes the sender
           // retransmit an already-delivered message, and the radio level
           // cannot deduplicate that — the end-to-end count must.
-          if (out.delivery_slot[it->second] == static_cast<SlotTime>(-1)) {
-            out.delivery_slot[it->second] = d.slot;
+          if (out.delivery_slot[*req] == static_cast<SlotTime>(-1)) {
+            out.delivery_slot[*req] = d.slot;
             ++delivered;
           }
         }
@@ -266,9 +280,9 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
         const auto& d = sd[down_seen[v]];
         const std::uint64_t tag =
             (static_cast<std::uint64_t>(d.msg.origin) << 32) | d.msg.seq;
-        if (auto it = tag_to_request.find(tag); it != tag_to_request.end()) {
-          if (out.delivery_slot[it->second] == static_cast<SlotTime>(-1)) {
-            out.delivery_slot[it->second] = d.slot;
+        if (const std::size_t* req = find_request(tag)) {
+          if (out.delivery_slot[*req] == static_cast<SlotTime>(-1)) {
+            out.delivery_slot[*req] = d.slot;
             ++delivered;
           }
         }

@@ -26,9 +26,9 @@
 #include "faults/fault_plan.h"
 #include "protocols/decay.h"
 #include "protocols/dfs_numbering.h"
-#include "radio/network.h"
 #include "radio/schedule.h"
 #include "radio/station.h"
+#include "radio/trace.h"
 #include "support/rng.h"
 #include "telemetry/telemetry.h"
 

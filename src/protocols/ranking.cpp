@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "protocols/tree.h"
+#include "radio/network.h"
 #include "support/util.h"
 
 namespace radiomc {

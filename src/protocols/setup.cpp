@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "radio/network.h"
 #include "support/util.h"
 
 namespace radiomc {

@@ -51,8 +51,8 @@
 #include "protocols/dfs_numbering.h"
 #include "protocols/leader_election.h"
 #include "protocols/tree.h"
-#include "radio/network.h"
 #include "radio/station.h"
+#include "radio/trace.h"
 #include "support/rng.h"
 
 namespace radiomc {

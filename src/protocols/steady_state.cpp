@@ -1,9 +1,10 @@
 #include "protocols/steady_state.h"
 
 #include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
+#include "radio/network.h"
 #include "support/rng.h"
 #include "support/util.h"
 
@@ -53,7 +54,9 @@ SteadyStateOutcome run_collection_steady_state(
   }
 
   SteadyStateOutcome out;
-  std::unordered_map<std::uint64_t, std::uint64_t> birth_phase;  // tag -> phase
+  // Ordered so that no future drain/merge over in-flight tags can pick up
+  // hash-iteration order (the lint unordered-container rule's contract).
+  std::map<std::uint64_t, std::uint64_t> birth_phase;  // tag -> phase
   std::vector<std::uint32_t> next_seq(n, 0);
   std::size_t harvested = 0;
   std::uint64_t in_system = 0;

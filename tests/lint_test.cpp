@@ -1,0 +1,528 @@
+// Tests for the radiomc_lint rule engine (src/lint/).
+//
+// Three layers:
+//  1. fixture snippets fed through run_rules() — at least one failing
+//     fixture per rule family, a passing twin, and a pass-with-waiver
+//     variant, so the suite pins down what each rule fires on;
+//  2. the trace-kind round trip: every `ev` value the live JsonlTraceSink
+//     writes must pass analysis/trace_event.h's is_trace_line_kind, i.e.
+//     the table the trace-kind-table rule checks statically is also
+//     correct at runtime;
+//  3. the repo itself: linting the real src/tools/bench trees must yield
+//     zero unwaived findings (the same gate CI enforces).
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/trace_event.h"
+#include "lint/lexer.h"
+#include "lint/rules.h"
+#include "lint/runner.h"
+#include "radio/message.h"
+#include "telemetry/jsonl_sink.h"
+
+namespace {
+
+using radiomc::lint::Finding;
+using radiomc::lint::LintOptions;
+using radiomc::lint::SourceFile;
+
+std::vector<Finding> Lint(std::vector<SourceFile> files,
+                          LintOptions opt = {}) {
+  return radiomc::lint::run_rules(files, opt);
+}
+
+std::size_t CountRule(const std::vector<Finding>& findings,
+                      std::string_view rule, bool waived_only = false) {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (f.rule == rule && (!waived_only || f.waived)) ++n;
+  return n;
+}
+
+std::size_t Unwaived(const std::vector<Finding>& findings) {
+  return radiomc::lint::count_unwaived(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, SeparatesTokensCommentsAndIncludes) {
+  const auto f = radiomc::lint::lex_source("src/x.cpp",
+                                           "#include \"radio/station.h\"\n"
+                                           "#include <vector>\n"
+                                           "// a comment\n"
+                                           "int main() { return 0; } /* b */\n");
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].path, "radio/station.h");
+  EXPECT_FALSE(f.includes[0].angled);
+  EXPECT_EQ(f.includes[1].path, "vector");
+  EXPECT_TRUE(f.includes[1].angled);
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_EQ(f.comments[0].line, 3);
+  EXPECT_TRUE(f.comments[0].own_line);
+  EXPECT_FALSE(f.comments[1].own_line);
+  // Tokens carry no comment or include text.
+  for (const auto& t : f.tokens) {
+    EXPECT_NE(t.text, "include");
+    EXPECT_NE(t.text, "comment");
+  }
+}
+
+TEST(LintLexer, StringsAndRawStringsAreOpaque) {
+  const auto f = radiomc::lint::lex_source(
+      "src/x.cpp",
+      "const char* a = \"rand() \\\" time()\";\n"
+      "const char* b = R\"tag(rand() \"quoted\")tag\";\n");
+  std::size_t strings = 0;
+  for (const auto& t : f.tokens) {
+    if (t.kind == radiomc::lint::Token::Kind::kString) ++strings;
+    EXPECT_NE(t.text, "rand");
+  }
+  EXPECT_EQ(strings, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Family: determinism.
+// ---------------------------------------------------------------------------
+
+TEST(LintDeterminism, FlagsRawRandomInSrc) {
+  const auto findings = Lint({{"src/protocols/bad.cpp",
+                               "#include <random>\n"
+                               "int roll() {\n"
+                               "  std::mt19937 gen(42);\n"
+                               "  return rand();\n"
+                               "}\n"}});
+  EXPECT_EQ(CountRule(findings, "no-raw-random"), 2u);
+  EXPECT_EQ(Unwaived(findings), 2u);
+}
+
+TEST(LintDeterminism, RngSupportAndMemberCallsPass) {
+  const auto findings = Lint(
+      {// support/rng.* is the one place engine types are allowed.
+       {"src/support/rng.cpp", "std::mt19937_64 engine_;\n"},
+       // A member call named like a banned function is not a banned call.
+       {"src/protocols/ok.cpp", "int f(Clock& c) { return c.time(); }\n"}});
+  EXPECT_EQ(CountRule(findings, "no-raw-random"), 0u);
+  EXPECT_EQ(CountRule(findings, "no-wall-clock"), 0u);
+}
+
+TEST(LintDeterminism, FlagsWallClockReads) {
+  const auto findings = Lint(
+      {{"src/radio/bad.cpp",
+        "#include <chrono>\n"
+        "long now() {\n"
+        "  auto t = std::chrono::system_clock::now();\n"
+        "  return time(nullptr);\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "no-wall-clock"), 2u);
+}
+
+TEST(LintDeterminism, CommentsAndStringsAreImmune) {
+  const auto findings = Lint({{"src/protocols/docs.cpp",
+                               "// rand() and std::mt19937 discussed here\n"
+                               "const char* s = \"time() rand()\";\n"}});
+  EXPECT_EQ(Unwaived(findings), 0u);
+}
+
+TEST(LintDeterminism, FlagsUnorderedContainersInDeterministicZones) {
+  const std::string decl = "#include <unordered_map>\n"
+                           "std::unordered_map<int, int> m;\n";
+  const auto findings = Lint({{"src/faults/bad.cpp", decl},
+                              // src/analysis is offline: order can't leak
+                              // into a trial, so the zone excludes it.
+                              {"src/analysis/ok.cpp", decl}});
+  EXPECT_EQ(CountRule(findings, "unordered-container"), 1u);
+  for (const Finding& f : findings)
+    EXPECT_EQ(f.file, "src/faults/bad.cpp") << f.rule;
+}
+
+TEST(LintDeterminism, WaiverSuppressesUnorderedContainer) {
+  const auto findings = Lint(
+      {{"src/protocols/waived.cpp",
+        "#include <unordered_map>\n"
+        "// radiomc-lint: allow(unordered-container) reason=lookup only\n"
+        "std::unordered_map<int, int> m;\n"}});
+  EXPECT_EQ(CountRule(findings, "unordered-container", /*waived_only=*/true),
+            1u);
+  EXPECT_EQ(Unwaived(findings), 0u);
+  for (const Finding& f : findings) {
+    if (f.waived) {
+      EXPECT_EQ(f.waiver_reason, "lookup only");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Family: model-purity.
+// ---------------------------------------------------------------------------
+
+TEST(LintModelPurity, ProtocolHeaderMayNotIncludeEngine) {
+  const auto findings =
+      Lint({{"src/protocols/bad.h", "#include \"radio/network.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "engine-include"), 1u);
+}
+
+TEST(LintModelPurity, DriverCppAndAllowlistedHeadersPass) {
+  const auto findings = Lint(
+      {// The driver translation unit is the apparatus; it may host the
+       // engine.
+       {"src/protocols/driver.cpp", "#include \"radio/network.h\"\n"},
+       // Headers may see the station-facing surface.
+       {"src/protocols/ok.h", "#include \"radio/station.h\"\n"
+                              "#include \"radio/schedule.h\"\n"
+                              "#include \"radio/trace.h\"\n"
+                              "#include \"radio/message.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "engine-include"), 0u);
+}
+
+TEST(LintModelPurity, WaiverCoversEngineOwningService) {
+  const auto findings = Lint(
+      {{"src/protocols/service.h",
+        "// radiomc-lint: allow(engine-include) reason=owns the engine\n"
+        "#include \"radio/network.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "engine-include", /*waived_only=*/true), 1u);
+  EXPECT_EQ(Unwaived(findings), 0u);
+}
+
+TEST(LintModelPurity, AnalysisIsOfflineOnly) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp", "#include \"analysis/trace_event.h\"\n"},
+       {"src/radio/bad2.cpp", "#include \"analysis/auditor.h\"\n"},
+       // tools/ drive the auditor; that is its intended consumer.
+       {"tools/radiomc_trace.cpp", "#include \"analysis/auditor.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "analysis-offline"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Family: telemetry.
+// ---------------------------------------------------------------------------
+
+namespace fixtures {
+
+const char kUnguardedHub[] =
+    "struct Cfg { TelemetryHub* telemetry = nullptr; };\n"
+    "void run(const Cfg& cfg) {\n"
+    "  cfg.telemetry->counter();\n"
+    "}\n";
+
+const char kGuardedHub[] =
+    "struct Cfg { TelemetryHub* telemetry = nullptr; };\n"
+    "void run(const Cfg& cfg) {\n"
+    "  if (cfg.telemetry != nullptr) {\n"
+    "    cfg.telemetry->counter();\n"
+    "  }\n"
+    "}\n";
+
+}  // namespace fixtures
+
+TEST(LintTelemetry, FlagsUnguardedHubDereference) {
+  const auto findings = Lint({{"src/protocols/bad.cpp",
+                               fixtures::kUnguardedHub}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 1u);
+}
+
+TEST(LintTelemetry, NullGuardSilencesHubDereference) {
+  const auto findings = Lint({{"src/protocols/ok.cpp",
+                               fixtures::kGuardedHub}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 0u);
+}
+
+TEST(LintTelemetry, TruthinessAndShortCircuitGuardsCount) {
+  const auto findings = Lint(
+      {{"src/protocols/ok.cpp",
+        "struct Cfg { TraceSink* trace = nullptr; };\n"
+        "void a(const Cfg& cfg) {\n"
+        "  if (cfg.trace) cfg.trace->flush();\n"
+        "}\n"
+        "void b(const Cfg& cfg) {\n"
+        "  bool on = cfg.trace && cfg.trace->ok();\n"
+        "  (void)on;\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 0u);
+}
+
+TEST(LintTelemetry, GuardInOneFunctionDoesNotLeakIntoAnother) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp",
+        "struct Cfg { TelemetryHub* telemetry = nullptr; };\n"
+        "void a(const Cfg& cfg) {\n"
+        "  if (cfg.telemetry != nullptr) cfg.telemetry->counter();\n"
+        "}\n"
+        "void b(const Cfg& cfg) {\n"
+        "  cfg.telemetry->counter();\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 1u);
+}
+
+TEST(LintTelemetry, SameNameOtherPointerTypeIsNotAHub) {
+  // A local `Trace* trace` must not inherit the cross-file TraceSink field
+  // name — per-file shadowing erases it.
+  const auto findings = Lint(
+      {{"src/protocols/decl.h", "struct C { TraceSink* trace = nullptr; };\n"},
+       {"src/analysis/reader.cpp",
+        "void parse(Trace* trace) {\n"
+        "  trace->push_back(1);\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 0u);
+}
+
+TEST(LintTelemetry, WaiverSuppressesHubFinding) {
+  const auto findings = Lint(
+      {{"src/protocols/waived.cpp",
+        "struct Cfg { TelemetryHub* telemetry = nullptr; };\n"
+        "void run(const Cfg& cfg) {\n"
+        "  // radiomc-lint: allow(hub-null-check) reason=caller checked\n"
+        "  cfg.telemetry->counter();\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check", /*waived_only=*/true), 1u);
+  EXPECT_EQ(Unwaived(findings), 0u);
+}
+
+TEST(LintTelemetry, TraceKindDriftIsFlaggedBothWays) {
+  const std::string table =
+      "inline constexpr std::string_view kTraceLineKinds[] = {\n"
+      "    \"schema\", \"tx\", \"stale\"};\n";
+  const std::string sink =
+      "void S::emit() {\n"
+      "  w.member(\"ev\", \"schema\");\n"
+      "  event_line(\"tx\", t, n, ch, &m, 0);\n"
+      "  w.member(\"ev\", \"bogus\");\n"
+      "}\n";
+  const auto findings = Lint({{"src/analysis/trace_event.h", table},
+                              {"src/telemetry/jsonl_sink.cpp", sink}});
+  // "bogus" emitted but not in the table; "stale" in the table but never
+  // emitted.
+  EXPECT_EQ(CountRule(findings, "trace-kind-table"), 2u);
+  bool saw_writer_drift = false, saw_stale_entry = false;
+  for (const Finding& f : findings) {
+    if (f.rule != "trace-kind-table") continue;
+    if (f.file == "src/telemetry/jsonl_sink.cpp") saw_writer_drift = true;
+    if (f.file == "src/analysis/trace_event.h") saw_stale_entry = true;
+  }
+  EXPECT_TRUE(saw_writer_drift);
+  EXPECT_TRUE(saw_stale_entry);
+}
+
+TEST(LintTelemetry, MatchingKindTablePasses) {
+  const auto findings = Lint(
+      {{"src/analysis/trace_event.h",
+        "inline constexpr std::string_view kTraceLineKinds[] = {\n"
+        "    \"schema\", \"tx\"};\n"},
+       {"src/telemetry/jsonl_sink.cpp",
+        "void S::emit() {\n"
+        "  w.member(\"ev\", \"schema\");\n"
+        "  event_line(\"tx\", t, n, ch, &m, 0);\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "trace-kind-table"), 0u);
+}
+
+TEST(LintTelemetry, MissingKindTableIsItselfAFinding) {
+  const auto findings = Lint({{"src/telemetry/jsonl_sink.cpp",
+                               "void S::emit() {\n"
+                               "  w.member(\"ev\", \"schema\");\n"
+                               "}\n"}});
+  EXPECT_EQ(CountRule(findings, "trace-kind-table"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Family: exhaustiveness.
+// ---------------------------------------------------------------------------
+
+TEST(LintExhaustiveness, FlagsDefaultOnClosedModelEnum) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp",
+        "bool up(MsgKind k) {\n"
+        "  switch (k) {\n"
+        "    case MsgKind::kData: return true;\n"
+        "    default: return false;\n"
+        "  }\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "switch-default"), 1u);
+}
+
+TEST(LintExhaustiveness, OtherEnumsAndFullEnumerationsPass) {
+  const auto findings = Lint(
+      {{"src/protocols/ok.cpp",
+        "int a(Color c) {\n"
+        "  switch (c) {\n"
+        "    case Color::kRed: return 1;\n"
+        "    default: return 0;\n"  // not a watched enum
+        "  }\n"
+        "}\n"
+        "bool b(RunStatus s) {\n"
+        "  switch (s) {\n"
+        "    case RunStatus::kOk: return true;\n"
+        "    case RunStatus::kDegraded: return false;\n"
+        "    case RunStatus::kFailed: return false;\n"
+        "  }\n"
+        "  return false;\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "switch-default"), 0u);
+}
+
+TEST(LintExhaustiveness, NestedSwitchLabelsStayLocal) {
+  // The inner switch is over a watched enum and has no default; the outer
+  // switch's default must not be attributed to the inner enum.
+  const auto findings = Lint(
+      {{"src/protocols/ok.cpp",
+        "int f(int x, MsgKind k) {\n"
+        "  switch (x) {\n"
+        "    case 0:\n"
+        "      switch (k) {\n"
+        "        case MsgKind::kData: return 1;\n"
+        "        case MsgKind::kAck: return 2;\n"
+        "      }\n"
+        "      return 3;\n"
+        "    default: return 4;\n"
+        "  }\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "switch-default"), 0u);
+}
+
+TEST(LintExhaustiveness, WaiverSuppressesSwitchDefault) {
+  const auto findings = Lint(
+      {{"src/protocols/waived.cpp",
+        "bool up(MsgKind k) {\n"
+        "  switch (k) {\n"
+        "    case MsgKind::kData: return true;\n"
+        "    // radiomc-lint: allow(switch-default) reason=fixture\n"
+        "    default: return false;\n"
+        "  }\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "switch-default", /*waived_only=*/true), 1u);
+  EXPECT_EQ(Unwaived(findings), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Family: hygiene (unused waivers) + options.
+// ---------------------------------------------------------------------------
+
+TEST(LintHygiene, UnusedWaiverIsAFinding) {
+  const auto findings = Lint(
+      {{"src/protocols/stale.cpp",
+        "// radiomc-lint: allow(no-raw-random) reason=long gone\n"
+        "int x = 0;\n"}});
+  EXPECT_EQ(CountRule(findings, "unused-waiver"), 1u);
+  EXPECT_EQ(Unwaived(findings), 1u);
+}
+
+TEST(LintHygiene, WaiverNamingUnknownRuleIsCalledOut) {
+  const auto findings = Lint(
+      {{"src/protocols/typo.cpp",
+        "// radiomc-lint: allow(no-raw-randomness)\n"
+        "int x = 0;\n"}});
+  ASSERT_EQ(CountRule(findings, "unused-waiver"), 1u);
+  for (const Finding& f : findings) {
+    if (f.rule == "unused-waiver") {
+      EXPECT_NE(f.message.find("unknown rule"), std::string::npos);
+    }
+  }
+}
+
+TEST(LintOptionsTest, OnlyRulesRestrictsTheRun) {
+  LintOptions opt;
+  opt.only_rules = {"no-raw-random"};
+  const auto findings = Lint({{"src/protocols/bad.cpp",
+                               "#include <unordered_map>\n"
+                               "std::unordered_map<int, int> m;\n"
+                               "int r() { return rand(); }\n"}},
+                             opt);
+  EXPECT_EQ(CountRule(findings, "no-raw-random"), 1u);
+  EXPECT_EQ(CountRule(findings, "unordered-container"), 0u);
+}
+
+TEST(LintCatalog, CoversAllFiveFamilies) {
+  std::vector<std::string> families;
+  for (const auto& r : radiomc::lint::rule_catalog())
+    families.emplace_back(r.family);
+  for (const char* want : {"determinism", "model-purity", "telemetry",
+                           "exhaustiveness", "hygiene"}) {
+    EXPECT_NE(std::find(families.begin(), families.end(), want),
+              families.end())
+        << "missing family " << want;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-kind round trip: the live writer against the live table.
+// ---------------------------------------------------------------------------
+
+std::string EvValue(const std::string& line) {
+  const std::string key = "\"ev\":\"";
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return {};
+  const std::size_t end = line.find('"', at + key.size());
+  return line.substr(at + key.size(), end - at - key.size());
+}
+
+TEST(TraceKindRoundTrip, EveryEmittedEvKindIsInTheTable) {
+  std::ostringstream out;
+  {
+    radiomc::telemetry::JsonlOptions opt;
+    opt.aggregate_every = 4;  // force "agg" lines
+    opt.max_events = 2;       // force a "truncated" record
+    radiomc::telemetry::JsonlTraceSink sink(out, opt);
+    radiomc::Message m;
+    m.kind = radiomc::MsgKind::kData;
+    m.origin = 1;
+    m.seq = 0;
+    sink.on_transmit(/*t=*/0, /*sender=*/1, /*ch=*/0, m);   // "tx"
+    sink.on_deliver(/*t=*/0, /*receiver=*/2, /*ch=*/0, m);  // "rx"
+    sink.on_collision(/*t=*/1, /*receiver=*/3, /*ch=*/0,
+                      /*tx_neighbors=*/2);                  // "coll", dropped
+    sink.on_collision(/*t=*/9, /*receiver=*/3, /*ch=*/0, 2);  // rolls window
+    sink.finish();  // flushes "schema", final "agg", "truncated"
+    EXPECT_TRUE(sink.truncated());
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t checked = 0;
+  std::vector<std::string> seen;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::string ev = EvValue(line);
+    ASSERT_FALSE(ev.empty()) << "line without ev kind: " << line;
+    EXPECT_TRUE(radiomc::analysis::is_trace_line_kind(ev))
+        << "JsonlTraceSink emitted ev kind \"" << ev
+        << "\" missing from kTraceLineKinds";
+    seen.push_back(ev);
+    ++checked;
+  }
+  EXPECT_GE(checked, 5u);  // schema, tx, rx, agg, truncated at minimum
+  for (const char* want : {"schema", "tx", "rx", "agg", "truncated"})
+    EXPECT_NE(std::find(seen.begin(), seen.end(), want), seen.end())
+        << "expected an \"" << want << "\" line in the stream";
+}
+
+TEST(TraceKindRoundTrip, TableRejectsUnknownKinds) {
+  EXPECT_TRUE(radiomc::analysis::is_trace_line_kind("coll"));
+  EXPECT_FALSE(radiomc::analysis::is_trace_line_kind("bogus"));
+  EXPECT_FALSE(radiomc::analysis::is_trace_line_kind(""));
+}
+
+// ---------------------------------------------------------------------------
+// The repo itself must lint clean (the CI gate, run as a test).
+// ---------------------------------------------------------------------------
+
+TEST(LintRepo, TreeHasNoUnwaivedFindings) {
+  const std::vector<std::string> roots = {RADIOMC_SOURCE_DIR "/src",
+                                          RADIOMC_SOURCE_DIR "/tools",
+                                          RADIOMC_SOURCE_DIR "/bench"};
+  const auto files = radiomc::lint::load_tree(roots);
+  ASSERT_GT(files.size(), 50u) << "load_tree found suspiciously few sources";
+  const auto findings = radiomc::lint::run_rules(files);
+  for (const Finding& f : findings) {
+    if (!f.waived)
+      ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                    << f.message;
+  }
+  EXPECT_EQ(Unwaived(findings), 0u);
+}
+
+}  // namespace

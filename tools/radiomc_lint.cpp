@@ -1,0 +1,98 @@
+// radiomc_lint — determinism & model-purity static analysis for this repo.
+//
+// The repo's headline guarantees (byte-identical trials across --jobs,
+// fault schedules that are a pure function of (seed, plan, graph), strict
+// trace audits) are invariants of the *source*, not just of today's test
+// runs. This tool makes them machine-checked on every commit: each rule in
+// src/lint/rules.cpp bans one way of silently breaking them, and every
+// finding is individually waivable in-line with a reason.
+//
+// Usage:
+//   radiomc_lint [options] <path>...       lint files / directory trees
+//   radiomc_lint --list-rules              print the rule catalog
+//
+// Options:
+//   --json FILE    also write the radiomc.lint/v1 JSON report to FILE
+//   --rule ID      run only rule ID (repeatable)
+//   --no-waived    hide waived findings from the text output
+//
+// Exit status: 0 = clean (waived findings allowed), 1 = unwaived findings,
+// 2 = usage or I/O error.
+//
+// See docs/STATIC_ANALYSIS.md for the rule catalog and the waiver syntax.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/runner.h"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: radiomc_lint [--json FILE] [--rule ID]... [--no-waived] "
+        "<path>...\n"
+        "       radiomc_lint --list-rules\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace radiomc::lint;
+
+  std::vector<std::string> roots;
+  std::string json_path;
+  LintOptions opt;
+  bool show_waived = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalog())
+        std::cout << r.id << "  [" << r.family << "]  " << r.summary << '\n';
+      return 0;
+    }
+    if (arg == "--json") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      json_path = argv[i];
+    } else if (arg == "--rule") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      opt.only_rules.emplace_back(argv[i]);
+    } else if (arg == "--no-waived") {
+      show_waived = false;
+    } else if (arg.starts_with("--")) {
+      std::cerr << "radiomc_lint: unknown option " << arg << '\n';
+      return usage(std::cerr, 2);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage(std::cerr, 2);
+
+  const std::vector<SourceFile> files = load_tree(roots);
+  if (files.empty()) {
+    std::cerr << "radiomc_lint: no lintable files under given paths\n";
+    return 2;
+  }
+
+  const std::vector<Finding> findings = run_rules(files, opt);
+  print_findings(std::cout, findings, show_waived);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "radiomc_lint: cannot write " << json_path << '\n';
+      return 2;
+    }
+    write_json_report(out, findings, files.size());
+  }
+
+  const std::size_t unwaived = count_unwaived(findings);
+  std::cout << "radiomc_lint: " << files.size() << " files, "
+            << findings.size() << " findings (" << unwaived << " unwaived, "
+            << findings.size() - unwaived << " waived)\n";
+  return unwaived == 0 ? 0 : 1;
+}
