@@ -112,9 +112,19 @@ const std::set<std::string_view> kBannedRandomCalls = {"rand", "srand",
                                                        "lrand48"};
 
 const std::set<std::string_view> kBannedClockTypes = {
-    "system_clock", "high_resolution_clock", "gettimeofday", "localtime",
-    "gmtime"};
-const std::set<std::string_view> kBannedClockCalls = {"time"};
+    "system_clock", "high_resolution_clock", "steady_clock", "gettimeofday",
+    "localtime",    "gmtime"};
+const std::set<std::string_view> kBannedClockCalls = {"time", "clock"};
+
+/// The one place clock identifiers are allowed: the sanctioned stopwatch
+/// and the measurement layer built on it (see support/stopwatch.h).
+bool is_clock_sanctioned(std::string_view path) {
+  const std::string_view base = basename_of(path);
+  if (in_dir(path, "src/support") &&
+      (base == "stopwatch.h" || base == "stopwatch.cpp"))
+    return true;
+  return in_dir(path, "src/perf");
+}
 
 /// True when token i is a free or std::-qualified call of its name — i.e.
 /// not a member access (`x.rand()`) and not qualified by a non-std scope.
@@ -125,12 +135,18 @@ bool is_free_or_std_call(const LexedFile& f, std::size_t i) {
   if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
   if (is_punct(prev, "::"))
     return i >= 2 && is_ident(f.tokens[i - 2], "std");
+  // `PhaseClock clock(...)` / `const PhaseClock& clock() const` declare an
+  // unrelated name; a preceding type identifier or declarator punctuation
+  // means declaration, not call (`return` still heads a real call).
+  if (prev.kind == Token::Kind::kIdent && prev.text != "return") return false;
+  if (is_punct(prev, "&") || is_punct(prev, "*")) return false;
   return true;
 }
 
 void rule_banned_idents(const LexedFile& f, std::vector<Finding>* out) {
   if (!in_dir(f.path, "src")) return;
   const bool rng_impl = is_rng_support(f.path);
+  const bool clock_ok = is_clock_sanctioned(f.path);
   for (std::size_t i = 0; i < f.tokens.size(); ++i) {
     const Token& t = f.tokens[i];
     if (t.kind != Token::Kind::kIdent) continue;
@@ -150,18 +166,20 @@ void rule_banned_idents(const LexedFile& f, std::vector<Finding>* out) {
         continue;
       }
     }
+    if (clock_ok) continue;
     if (kBannedClockTypes.count(t.text)) {
       report(out, "no-wall-clock", f, t.line,
              "'" + t.text +
                  "' in src/: wall-clock time is nondeterministic; simulated "
-                 "time is SlotTime, and perf timing uses steady_clock / "
-                 "std::clock in support/parallel.h");
+                 "time is SlotTime, and every real-time read must funnel "
+                 "through support/stopwatch.h (the one audited clock)");
       continue;
     }
     if (kBannedClockCalls.count(t.text) && is_free_or_std_call(f, i)) {
       report(out, "no-wall-clock", f, t.line,
              "'" + t.text +
-                 "()' in src/: wall-clock reads make runs irreproducible");
+                 "()' in src/: wall-clock reads make runs irreproducible; "
+                 "use support/stopwatch.h");
     }
   }
 }
@@ -237,11 +255,71 @@ void rule_analysis_offline(const LexedFile& f, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// perf-purity / perf-purity-include + perf-purity-flow
+//
+// The measurement layer (src/perf/ on top of support/stopwatch.h) reads
+// real clocks; simulation state must stay a pure function of the seed. Two
+// directions are enforced statically: model *declarations* never see the
+// measurement headers (drivers hold only a forward-declared
+// perf::Profiler*), and timing *values* never appear in model code at all
+// — the Profiler/PerfSpan surface a driver touches is write-only, so a
+// measured nanosecond cannot flow into an Rng or a transmit decision.
+// ---------------------------------------------------------------------------
+
+void rule_perf_purity_include(const LexedFile& f, std::vector<Finding>* out) {
+  // Protocol/baseline *headers* describe the model; src/radio and
+  // src/faults are the deterministic apparatus under measurement. Driver
+  // .cpp files in src/protocols may include perf/profiler.h to place
+  // spans — that is the whole point of the forward-declaration idiom.
+  const bool model_header =
+      (in_dir(f.path, "src/protocols") || in_dir(f.path, "src/baselines")) &&
+      is_header(f.path);
+  const bool engine_zone =
+      in_dir(f.path, "src/radio") || in_dir(f.path, "src/faults");
+  if (!model_header && !engine_zone) return;
+  for (const IncludeDirective& inc : f.includes) {
+    if (inc.angled) continue;
+    if (inc.path.starts_with("perf/") || inc.path == "support/stopwatch.h") {
+      report(out, "perf-purity-include", f, inc.line,
+             "includes \"" + inc.path +
+                 "\": the measurement layer must stay invisible to " +
+                 (model_header ? "protocol headers (forward-declare "
+                                 "perf::Profiler instead; only driver .cpp "
+                                 "files may include it)"
+                               : "the engine (src/radio and src/faults "
+                                 "never time themselves)"));
+    }
+  }
+}
+
+/// Identifiers that carry measured-time values. Their mention in model
+/// code means a wall-clock quantity is in scope where it could steer the
+/// simulation; Profiler / PerfSpan are deliberately absent (write-only).
+const std::set<std::string_view> kTimingValueIdents = {
+    "elapsed_ns",       "elapsed_ms",     "wall_ms",   "cpu_ms",
+    "monotonic_now_ns", "process_cpu_ns", "Stopwatch", "ScopedTimer"};
+
+void rule_perf_purity_flow(const LexedFile& f, std::vector<Finding>* out) {
+  if (!(in_dir(f.path, "src/protocols") || in_dir(f.path, "src/radio") ||
+        in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines")))
+    return;
+  for (const Token& t : f.tokens) {
+    if (t.kind == Token::Kind::kIdent && kTimingValueIdents.count(t.text)) {
+      report(out, "perf-purity-flow", f, t.line,
+             "'" + t.text +
+                 "' in model code: measured time must never be readable "
+                 "where simulation decisions are made — keep timing values "
+                 "in src/perf/ and the drivers' write-only Profiler calls");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // telemetry / hub-null-check
 // ---------------------------------------------------------------------------
 
-const std::set<std::string_view> kHubPointerTypes = {"TelemetryHub",
-                                                     "TraceSink"};
+const std::set<std::string_view> kHubPointerTypes = {
+    "TelemetryHub", "TraceSink", "Profiler", "SlotHook"};
 
 /// Names declared anywhere in the scanned set as `TelemetryHub* x = nullptr`
 /// or `TraceSink* x = nullptr` — the optional-observability config-field
@@ -558,8 +636,12 @@ const std::vector<RuleInfo> kCatalog = {
      "protocol headers reaching past radio/station.h + schedule.h"},
     {"analysis-offline", "model-purity",
      "src/analysis/ included from protocols, radio, faults or telemetry"},
+    {"perf-purity-include", "perf-purity",
+     "perf/ or support/stopwatch.h seen from model headers or the engine"},
+    {"perf-purity-flow", "perf-purity",
+     "timing-value identifiers (Stopwatch, elapsed_ns, ...) in model code"},
     {"hub-null-check", "telemetry",
-     "unguarded dereference of optional TelemetryHub*/TraceSink*"},
+     "unguarded dereference of optional TelemetryHub*/TraceSink*/Profiler*"},
     {"trace-kind-table", "telemetry",
      "jsonl_sink.cpp `ev` kinds vs the trace_event.h kind table"},
     {"switch-default", "exhaustiveness",
@@ -604,6 +686,9 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     if (enabled("unordered-container")) rule_unordered_container(f, &findings);
     if (enabled("engine-include")) rule_engine_include(f, &findings);
     if (enabled("analysis-offline")) rule_analysis_offline(f, &findings);
+    if (enabled("perf-purity-include"))
+      rule_perf_purity_include(f, &findings);
+    if (enabled("perf-purity-flow")) rule_perf_purity_flow(f, &findings);
     if (enabled("hub-null-check"))
       rule_hub_null_check(f, hub_fields, &findings);
     if (enabled("switch-default")) rule_switch_default(f, &findings);

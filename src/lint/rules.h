@@ -38,7 +38,7 @@ struct Finding {
 
 struct RuleInfo {
   std::string_view id;
-  std::string_view family;  ///< determinism | model-purity | telemetry | exhaustiveness | hygiene
+  std::string_view family;  ///< determinism | model-purity | perf-purity | telemetry | exhaustiveness | hygiene
   std::string_view summary;
 };
 

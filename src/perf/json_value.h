@@ -1,0 +1,99 @@
+#pragma once
+
+// A small recursive-descent JSON parser producing an immutable value tree.
+//
+// This is the *offline tooling* parser: `radiomc_perf` must read back the
+// documents the repo's writers emit (radiomc.perf/v1 reports and
+// radiomc.bench/v1 tables) in order to diff two runs, and the perf test
+// suite uses it to pin the report schema. The online trace reader
+// (analysis/trace_reader.h) stays the deliberately narrow line-oriented
+// parser it is — hot-path strictness there, generality here.
+//
+// Subset: RFC 8259 minus \uXXXX escapes beyond Latin-1 fidelity (escaped
+// code points are decoded to UTF-8). Numbers are held as double plus an
+// exact-integer flag, which covers every field our writers produce.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace radiomc::perf {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool dflt = false) const noexcept {
+    return is_bool() ? bool_ : dflt;
+  }
+  double as_double(double dflt = 0.0) const noexcept {
+    return is_number() ? num_ : dflt;
+  }
+  std::int64_t as_int(std::int64_t dflt = 0) const noexcept {
+    return is_number() ? static_cast<std::int64_t>(num_) : dflt;
+  }
+  const std::string& as_string() const noexcept { return str_; }
+
+  const std::vector<JsonValue>& items() const noexcept { return arr_; }
+  /// Object members in document order (writers emit deterministically, so
+  /// order is meaningful for golden comparisons).
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return obj_;
+  }
+
+  /// Member lookup; null-kind sentinel when absent or not an object.
+  const JsonValue& at(std::string_view key) const noexcept;
+  /// True iff the member exists (even with a null value).
+  bool has(std::string_view key) const noexcept { return at_present(key); }
+
+  // Construction (parser + tests building synthetic documents).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  bool at_present(std::string_view key) const noexcept;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;   ///< non-empty iff !ok; includes a byte offset
+  JsonValue value;     ///< valid iff ok
+};
+
+/// Parses one JSON document; trailing whitespace is permitted, trailing
+/// garbage is an error.
+JsonParseResult parse_json(std::string_view text);
+
+/// Reads and parses a whole file; a missing/unreadable file is an error,
+/// not an exception.
+JsonParseResult parse_json_file(const std::string& path);
+
+}  // namespace radiomc::perf

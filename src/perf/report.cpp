@@ -1,0 +1,101 @@
+#include "perf/report.h"
+
+#include <fstream>
+
+#include "telemetry/json_writer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace radiomc::perf {
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t alloc_in_use_bytes() noexcept {
+#if defined(__GLIBC__)
+  const struct mallinfo2 mi = mallinfo2();
+  return static_cast<std::uint64_t>(mi.uordblks);
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+void write_span(telemetry::JsonWriter& w, const SpanNode& n) {
+  w.begin_object();
+  w.member("name", n.name);
+  w.member("count", n.count);
+  w.member("total_ns", n.total_ns);
+  w.member("min_ns", n.min_ns);
+  w.member("max_ns", n.max_ns);
+  if (!n.children.empty()) {
+    w.key("children");
+    w.begin_array();
+    for (const auto& c : n.children) write_span(w, *c);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_perf_json(const Profiler& p, const RunInfo& run) {
+  std::string buf;
+  telemetry::JsonWriter w(&buf);
+  const double wall_ms = static_cast<double>(p.elapsed_ns()) / 1e6;
+  w.begin_object();
+  w.member("schema", kPerfSchemaVersion);
+  w.key("run");
+  w.begin_object();
+  w.member("tool", run.tool);
+  w.member("command", run.command);
+  w.member("jobs", static_cast<std::uint64_t>(run.jobs));
+  w.end_object();
+  w.member("wall_ms", wall_ms);
+  w.member("cpu_ms", static_cast<double>(p.cpu_elapsed_ns()) / 1e6);
+  w.member("slots", run.slots);
+  w.member("slots_per_sec",
+           wall_ms > 0.0
+               ? static_cast<double>(run.slots) / (wall_ms / 1000.0)
+               : 0.0);
+  w.member("peak_rss_bytes", peak_rss_bytes());
+  w.member("alloc_in_use_bytes", alloc_in_use_bytes());
+  w.member("open_spans", static_cast<std::uint64_t>(p.open_depth()));
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : p.counters()) w.member(name, value);
+  w.end_object();
+  w.key("spans");
+  w.begin_array();
+  for (const auto& c : p.root().children) write_span(w, *c);
+  w.end_array();
+  w.end_object();
+  return buf;
+}
+
+bool write_perf_json_file(const Profiler& p, const RunInfo& run,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_perf_json(p, run) << '\n';
+  return out.good();
+}
+
+}  // namespace radiomc::perf

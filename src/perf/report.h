@@ -1,0 +1,56 @@
+#pragma once
+
+// Serialization of a Profiler into the versioned `radiomc.perf/v1` JSON
+// document, plus process resource sampling (peak RSS, allocator state).
+// The document is the per-run half of the perf trajectory; the per-commit
+// half is BENCH_ENGINE.json (bench_micro). `radiomc_perf` diffs either
+// kind and gates regressions (src/perf/regression.h).
+//
+// Document shape:
+//   {"schema":"radiomc.perf/v1",
+//    "run":{"tool":"radiomc_sim","command":"collect","jobs":1},
+//    "wall_ms":..,"cpu_ms":..,
+//    "slots":N,"slots_per_sec":..,          // 0 / omitted-ish when no slots
+//    "peak_rss_bytes":..,"alloc_in_use_bytes":..,
+//    "open_spans":0,                        // nonzero marks a driver bug
+//    "counters":{"name":value,...},
+//    "spans":[{"name":..,"count":..,"total_ns":..,"min_ns":..,"max_ns":..,
+//              "children":[...]},...]}
+//
+// Timing fields are the one sanctioned nondeterminism in the repo's
+// outputs: everything else the simulator writes is a pure function of the
+// seed, and the determinism suite holds that line with profiling enabled.
+
+#include <cstdint>
+#include <string>
+
+#include "perf/profiler.h"
+
+namespace radiomc::perf {
+
+inline constexpr const char* kPerfSchemaVersion = "radiomc.perf/v1";
+
+/// Identity of the run the report describes.
+struct RunInfo {
+  std::string tool;     ///< e.g. "radiomc_sim", "bench_micro"
+  std::string command;  ///< e.g. "collect", "engine-sweep"
+  unsigned jobs = 1;
+  /// Engine slots executed (sum over networks); 0 when unknown.
+  std::uint64_t slots = 0;
+};
+
+/// Process peak resident set in bytes (0 where unsupported).
+std::uint64_t peak_rss_bytes() noexcept;
+
+/// Heap bytes currently handed out by the allocator (glibc mallinfo2;
+/// 0 where unsupported). A before/after pair brackets a run's footprint.
+std::uint64_t alloc_in_use_bytes() noexcept;
+
+/// Renders the full `radiomc.perf/v1` document (no trailing newline).
+std::string to_perf_json(const Profiler& p, const RunInfo& run);
+
+/// Writes `to_perf_json` plus a trailing newline; false on I/O failure.
+bool write_perf_json_file(const Profiler& p, const RunInfo& run,
+                          const std::string& path);
+
+}  // namespace radiomc::perf

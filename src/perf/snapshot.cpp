@@ -1,0 +1,117 @@
+#include "perf/snapshot.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "perf/profiler.h"
+#include "telemetry/json_writer.h"
+
+namespace radiomc::perf {
+
+SnapshotStreamer::SnapshotStreamer(std::ostream& out,
+                                   std::uint64_t every_slots,
+                                   const telemetry::MetricsRegistry* metrics,
+                                   Profiler* profiler)
+    : out_(&out), every_(every_slots), metrics_(metrics),
+      profiler_(profiler) {
+  write_header();
+}
+
+SnapshotStreamer::SnapshotStreamer(const std::string& path,
+                                   std::uint64_t every_slots,
+                                   const telemetry::MetricsRegistry* metrics,
+                                   Profiler* profiler)
+    : owned_(std::make_unique<std::ofstream>(path)),
+      out_(owned_.get()), every_(every_slots), metrics_(metrics),
+      profiler_(profiler) {
+  if (!owned_->is_open()) {
+    out_ = nullptr;
+    return;
+  }
+  write_header();
+}
+
+SnapshotStreamer::~SnapshotStreamer() { finish(); }
+
+void SnapshotStreamer::write_header() {
+  if (header_written_ || !ok()) return;
+  header_written_ = true;
+  std::string buf;
+  telemetry::JsonWriter w(&buf);
+  w.begin_object();
+  w.member("ev", "schema");
+  w.member("v", kSnapshotSchemaVersion);
+  w.member("every", every_);
+  w.end_object();
+  *out_ << buf << '\n';
+}
+
+void SnapshotStreamer::on_slot_done(SlotTime t) {
+  if (finished_ || !ok() || every_ == 0) return;
+  seen_slot_ = t;
+  if (t % every_ != 0) return;
+
+  std::string buf;
+  telemetry::JsonWriter w(&buf);
+  w.begin_object();
+  w.member("ev", "snap");
+  w.member("slot", static_cast<std::uint64_t>(t));
+  w.key("metrics");
+  if (metrics_ != nullptr) {
+    metrics_->write_json(w);
+  } else {
+    w.null();
+  }
+  // The perf member is the one nondeterministic part of a snapshot line;
+  // leaving it out entirely when no profiler is attached keeps the
+  // profiler-off stream a pure function of the seed (golden-testable).
+  if (profiler_ != nullptr) {
+    const double interval_ms = interval_watch_.elapsed_ms();
+    const std::uint64_t interval_slots =
+        static_cast<std::uint64_t>(t - last_snap_slot_);
+    w.key("perf");
+    w.begin_object();
+    w.member("wall_ms", interval_ms);
+    w.member("interval_slots_per_sec",
+             interval_ms > 0.0
+                 ? static_cast<double>(interval_slots) / (interval_ms / 1e3)
+                 : 0.0);
+    w.end_object();
+    interval_watch_.restart();
+  }
+  w.end_object();
+  *out_ << buf << '\n';
+  out_->flush();  // the stream should be readable while the run is live
+  last_snap_slot_ = t;
+  ++snapshots_;
+}
+
+void SnapshotStreamer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!ok()) return;
+  std::string buf;
+  telemetry::JsonWriter w(&buf);
+  w.begin_object();
+  w.member("ev", "end");
+  w.member("slot", static_cast<std::uint64_t>(seen_slot_));
+  w.member("snapshots", snapshots_);
+  w.end_object();
+  *out_ << buf << '\n';
+  out_->flush();
+}
+
+void SnapshotStreamer::validate_flags(bool has_out, bool has_every,
+                                      std::uint64_t every_slots) {
+  if (has_every && !has_out)
+    throw std::invalid_argument(
+        "--snapshot-every requires --snapshot-out (nowhere to stream)");
+  if (has_out && !has_every)
+    throw std::invalid_argument(
+        "--snapshot-out requires --snapshot-every (no default cadence)");
+  if (has_every && every_slots == 0)
+    throw std::invalid_argument(
+        "--snapshot-every must be a positive slot count");
+}
+
+}  // namespace radiomc::perf

@@ -1,0 +1,95 @@
+#pragma once
+
+// Periodic live-telemetry snapshots: a SlotHook that flushes the current
+// MetricsSnapshot (plus perf deltas, when a profiler is attached) to a
+// JSONL stream every N engine slots. This is the telemetry spine for the
+// planned continuous-traffic `serve` mode — a long-lived run becomes
+// observable *while it runs* instead of only at the end — exposed today as
+// `radiomc_sim --snapshot-out FILE --snapshot-every N`.
+//
+// Stream layout (`radiomc.snap/v1`):
+//   {"ev":"schema","v":"radiomc.snap/v1","every":N}        first line
+//   {"ev":"snap","slot":t,"metrics":{...}}                 every N slots
+//   {"ev":"snap","slot":t,"metrics":{...},
+//    "perf":{"wall_ms":..,"interval_slots_per_sec":..}}    with profiler
+//   {"ev":"end","slot":t,"snapshots":k}                    from finish()
+//
+// The "metrics" member is MetricsRegistry::write_json verbatim — a pure
+// function of the run seed — so a stream written without a profiler is
+// deterministic end to end (the golden-file test pins it). The "perf"
+// member is the sanctioned nondeterminism: wall time since the previous
+// snapshot and the interval slot rate, present only when a Profiler is
+// attached. Reading the clock happens here, in src/perf/ — never in the
+// engine or a protocol (perf-purity).
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "radio/trace.h"
+#include "support/stopwatch.h"
+#include "telemetry/metrics.h"
+
+namespace radiomc::perf {
+
+class Profiler;
+
+inline constexpr const char* kSnapshotSchemaVersion = "radiomc.snap/v1";
+
+class SnapshotStreamer final : public SlotHook {
+ public:
+  /// Streams to `out` (borrowed; must outlive the streamer). Snapshots the
+  /// registry every `every_slots` engine slots. `profiler` (optional)
+  /// adds the perf-delta member to each snapshot line.
+  SnapshotStreamer(std::ostream& out, std::uint64_t every_slots,
+                   const telemetry::MetricsRegistry* metrics,
+                   Profiler* profiler = nullptr);
+  /// Opens `path` for writing and owns the stream. Check `ok()`.
+  SnapshotStreamer(const std::string& path, std::uint64_t every_slots,
+                   const telemetry::MetricsRegistry* metrics,
+                   Profiler* profiler = nullptr);
+  ~SnapshotStreamer() override;
+
+  SnapshotStreamer(const SnapshotStreamer&) = delete;
+  SnapshotStreamer& operator=(const SnapshotStreamer&) = delete;
+
+  bool ok() const noexcept { return out_ != nullptr && out_->good(); }
+
+  /// SlotHook: emits a snapshot line when `t` crosses the cadence.
+  void on_slot_done(SlotTime t) override;
+
+  /// Writes the trailing "end" record; idempotent (also run by the
+  /// destructor). Further pulses are ignored.
+  void finish();
+
+  std::uint64_t snapshots_written() const noexcept { return snapshots_; }
+
+  /// The CLI flag-validation contract, shared with radiomc_sim so the
+  /// error-path test and the tool reject exactly the same way: a cadence
+  /// without a destination is a hard error (mirrors --trace-agg without
+  /// --trace-out), a destination without a cadence is too (no silent
+  /// default cadence), as is a zero cadence (a snapshot stream that never
+  /// snapshots is a misconfiguration, not a quiet no-op). Throws
+  /// std::invalid_argument with a specific message.
+  static void validate_flags(bool has_out, bool has_every,
+                             std::uint64_t every_slots);
+
+ private:
+  void write_header();
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  std::uint64_t every_;
+  const telemetry::MetricsRegistry* metrics_;
+  Profiler* profiler_;
+  Stopwatch interval_watch_;
+  SlotTime last_snap_slot_ = 0;  ///< slot of the previous snapshot line
+  SlotTime seen_slot_ = 0;       ///< highest slot pulsed so far
+  std::uint64_t snapshots_ = 0;
+  bool header_written_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace radiomc::perf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "perf/profiler.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -91,6 +92,7 @@ BroadcastService::BroadcastService(const Graph& g, const BfsTree& tree,
   for (auto& m : muxes_) ptrs.push_back(m.get());
   net_ = std::make_unique<RadioNetwork>(g, ncfg);
   if (cfg.trace != nullptr) net_->set_trace(cfg.trace);
+  if (cfg.slot_hook != nullptr) net_->set_slot_hook(cfg.slot_hook);
   if (cfg.faults.any()) {
     faults_ = std::make_unique<FaultSchedule>(
         g, cfg.faults, master.split(kFaultStreamTag).next());
@@ -162,11 +164,18 @@ KBroadcastOutcome run_k_broadcast(const Graph& g, const BfsTree& tree,
   for (std::size_t i = 0; i < sources.size(); ++i)
     svc.broadcast(sources[i], 0x42000000ULL + i);
   KBroadcastOutcome out;
-  out.completed = svc.run_until_delivered(max_slots);
+  {
+    perf::PerfSpan run_span(cfg.profiler, "broadcast.run");
+    out.completed = svc.run_until_delivered(max_slots);
+  }
   out.status = svc.status();
   out.slots = svc.now();
   out.root_resends = svc.distribution(tree.root).root_resends();
   out.delivered_prefix = svc.min_delivered_prefix();
+  if (cfg.profiler != nullptr) {
+    cfg.profiler->count("broadcast.slots", out.slots);
+    cfg.profiler->count("broadcast.root_resends", out.root_resends);
+  }
 
   if (cfg.telemetry != nullptr) {
     telemetry::Telemetry& tel = *cfg.telemetry;

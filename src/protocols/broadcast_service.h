@@ -43,6 +43,13 @@ struct BroadcastServiceConfig {
   /// Optional physical-event sink installed on the service's network.
   TraceSink* trace = nullptr;
 
+  /// Optional perf instrumentation: run_k_broadcast opens a
+  /// "broadcast.run" span and bumps slot/resend counters (perf-purity:
+  /// write-only, never read back).
+  perf::Profiler* profiler = nullptr;
+  /// Optional per-slot observer installed on the service's network.
+  SlotHook* slot_hook = nullptr;
+
   /// Fault injection (src/faults/), compiled by the service against the
   /// graph and a stream split off the seed. The per-protocol plans inside
   /// `collection` / `distribution` are ignored here — the service runs one

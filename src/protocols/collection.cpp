@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "perf/profiler.h"
 #include "radio/network.h"
 #include "support/util.h"
 
@@ -189,6 +190,7 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
 
   RadioNetwork net(g);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.slot_hook != nullptr) net.set_slot_hook(cfg.slot_hook);
   FaultSchedule faults;
   if (cfg.faults.any()) {
     // Derived after the station splits, and only when a plan is active, so
@@ -239,17 +241,20 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
   std::size_t progress_count = root->root_sink().size();
   SlotTime progress_slot = 0;
   bool stalled = false;
-  while (root->root_sink().size() < expected && net.now() < max_slots) {
-    if (net.now() % slots_per_phase == 0)
-      snapshot_occupancy(net.now() / slots_per_phase);
-    net.step();
-    if (cfg.stall_slots > 0) {
-      if (root->root_sink().size() > progress_count) {
-        progress_count = root->root_sink().size();
-        progress_slot = net.now();
-      } else if (net.now() - progress_slot >= cfg.stall_slots) {
-        stalled = true;
-        break;
+  {
+    perf::PerfSpan drain_span(cfg.profiler, "collection.drain");
+    while (root->root_sink().size() < expected && net.now() < max_slots) {
+      if (net.now() % slots_per_phase == 0)
+        snapshot_occupancy(net.now() / slots_per_phase);
+      net.step();
+      if (cfg.stall_slots > 0) {
+        if (root->root_sink().size() > progress_count) {
+          progress_count = root->root_sink().size();
+          progress_slot = net.now();
+        } else if (net.now() - progress_slot >= cfg.stall_slots) {
+          stalled = true;
+          break;
+        }
       }
     }
   }
@@ -274,6 +279,12 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
     const auto& occ = occupied_list[from_level];
     if (std::binary_search(occ.begin(), occ.end(), phase))
       ++out.advance_phases[from_level];
+  }
+
+  if (cfg.profiler != nullptr) {
+    cfg.profiler->count("collection.slots", out.slots);
+    cfg.profiler->count("collection.phases", out.phases);
+    cfg.profiler->count("collection.delivered", out.deliveries.size());
   }
 
   if (cfg.telemetry != nullptr) {

@@ -36,6 +36,11 @@
 
 namespace radiomc {
 
+namespace perf {
+class Profiler;  // src/perf/profiler.h; forward-declared so no protocol
+                 // header includes the measurement layer (perf-purity)
+}  // namespace perf
+
 struct CollectionConfig {
   SlotStructure slots;  ///< decay_len from Delta; ack + mod-3 on by default
 
@@ -54,6 +59,14 @@ struct CollectionConfig {
   TelemetryHub* telemetry = nullptr;
   /// Optional physical-event sink installed on the driver's network.
   TraceSink* trace = nullptr;
+
+  /// Optional perf instrumentation: run_collection opens a "collection.
+  /// drain" span and bumps slot/phase/delivery counters. Write-only from
+  /// here — timing never flows back into the protocol (perf-purity).
+  perf::Profiler* profiler = nullptr;
+  /// Optional per-slot observer installed on the driver's network (e.g. a
+  /// perf::SnapshotStreamer). Sees only the slot counter.
+  SlotHook* slot_hook = nullptr;
 
   /// Fault injection (src/faults/): run_collection compiles this against
   /// the graph and a stream split off the run seed. All-zero (the default)

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "perf/profiler.h"
 #include "radio/network.h"
 
 namespace radiomc {
@@ -49,7 +50,9 @@ class DecayTrialStation final : public Station {
 
 bool decay_single_trial(const Graph& g, NodeId receiver,
                         const std::vector<NodeId>& transmitters,
-                        std::uint32_t decay_len, Rng& rng) {
+                        std::uint32_t decay_len, Rng& rng,
+                        perf::Profiler* profiler) {
+  perf::PerfSpan span(profiler, "decay.invocation");
   require(receiver < g.num_nodes(), "decay_single_trial: receiver in range");
   std::vector<bool> sends(g.num_nodes(), false);
   for (NodeId t : transmitters) {

@@ -24,6 +24,10 @@
 
 namespace radiomc {
 
+namespace perf {
+class Profiler;  // src/perf/profiler.h; forward-declared (perf-purity)
+}  // namespace perf
+
 class DecayProcess {
  public:
   /// `length` is the maximum number of transmissions per invocation,
@@ -67,8 +71,10 @@ class DecayProcess {
 /// and reports whether `receiver` heard any of them. All transmitters must
 /// be neighbors of `receiver` for property (2) to apply, but the function
 /// does not require it (multi-hop interference studies use non-neighbors).
+/// `profiler` (optional) records one "decay.invocation" span per trial.
 bool decay_single_trial(const Graph& g, NodeId receiver,
                         const std::vector<NodeId>& transmitters,
-                        std::uint32_t decay_len, Rng& rng);
+                        std::uint32_t decay_len, Rng& rng,
+                        perf::Profiler* profiler = nullptr);
 
 }  // namespace radiomc

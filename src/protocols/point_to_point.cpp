@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "perf/profiler.h"
 #include "radio/network.h"
 #include "support/util.h"
 
@@ -247,6 +248,7 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   ncfg.num_channels = 2;
   RadioNetwork net(g, ncfg);
   if (cfg.trace != nullptr) net.set_trace(cfg.trace);
+  if (cfg.slot_hook != nullptr) net.set_slot_hook(cfg.slot_hook);
   FaultSchedule faults;
   if (cfg.faults.any()) {
     faults = FaultSchedule(g, cfg.faults, master.split(kFaultStreamTag).next());
@@ -294,18 +296,25 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   std::uint64_t progress_count = delivered;
   SlotTime progress_slot = 0;
   bool stalled = false;
-  while (delivered < requests.size() && net.now() < max_slots) {
-    net.step();
-    harvest(net.now());
-    if (cfg.stall_slots > 0) {
-      if (delivered > progress_count) {
-        progress_count = delivered;
-        progress_slot = net.now();
-      } else if (net.now() - progress_slot >= cfg.stall_slots) {
-        stalled = true;
-        break;
+  {
+    perf::PerfSpan run_span(cfg.profiler, "p2p.run");
+    while (delivered < requests.size() && net.now() < max_slots) {
+      net.step();
+      harvest(net.now());
+      if (cfg.stall_slots > 0) {
+        if (delivered > progress_count) {
+          progress_count = delivered;
+          progress_slot = net.now();
+        } else if (net.now() - progress_slot >= cfg.stall_slots) {
+          stalled = true;
+          break;
+        }
       }
     }
+  }
+  if (cfg.profiler != nullptr) {
+    cfg.profiler->count("p2p.slots", net.now());
+    cfg.profiler->count("p2p.delivered", delivered);
   }
   out.completed = delivered >= requests.size();
   out.status = out.completed ? RunStatus::kOk

@@ -43,6 +43,12 @@ struct P2pConfig {
   /// Optional physical-event sink installed on the driver's network.
   TraceSink* trace = nullptr;
 
+  /// Optional perf instrumentation: a "p2p.run" span plus request/slot
+  /// counters. Write-only here (perf-purity).
+  perf::Profiler* profiler = nullptr;
+  /// Optional per-slot observer installed on the driver's network.
+  SlotHook* slot_hook = nullptr;
+
   /// Fault injection (src/faults/); all-zero = no faults, legacy path.
   FaultPlan faults;
   /// Progress watchdog: when > 0 and no request completes for this many

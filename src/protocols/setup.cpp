@@ -1,8 +1,11 @@
 #include "protocols/setup.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <string>
 
+#include "perf/profiler.h"
 #include "radio/network.h"
 #include "support/util.h"
 
@@ -303,6 +306,7 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
   ncfg.num_channels = 2;
   RadioNetwork net(g, ncfg);
   if (tuning.trace != nullptr) net.set_trace(tuning.trace);
+  if (tuning.slot_hook != nullptr) net.set_slot_hook(tuning.slot_hook);
   FaultSchedule faults;
   if (tuning.faults.any()) {
     faults =
@@ -311,24 +315,32 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
   }
   net.attach(std::move(ptrs));
 
-  // Epoch spans fall on the globally known schedule boundaries, so the
-  // timeline needs no cooperation from the stations.
+  // Epoch boundaries are globally known (a pure function of n, Delta and
+  // the attempt), so both the telemetry timeline and the perf span tree
+  // can be laid down by the driver with no cooperation from the stations.
+  auto epoch_table = [](const SetupSchedule& sched) {
+    return std::array<std::pair<const char*, SlotTime>, 6>{
+        {{"leader_election", sched.le},
+         {"bfs_verify", sched.bv},
+         {"dfs_graph", sched.dfs1},
+         {"dfs_tree", sched.dfs2},
+         {"final_verify", sched.fv},
+         {"completion_flood", sched.gl}}};
+  };
   auto record_attempt_spans = [&](std::uint32_t attempt, SlotTime base,
                                   const SetupSchedule& sched) {
     if (tuning.telemetry == nullptr) return;
     telemetry::PhaseTimeline& tl = tuning.telemetry->timeline;
-    const std::pair<const char*, SlotTime> epochs[] = {
-        {"leader_election", sched.le}, {"bfs_verify", sched.bv},
-        {"dfs_graph", sched.dfs1},     {"dfs_tree", sched.dfs2},
-        {"final_verify", sched.fv},    {"completion_flood", sched.gl}};
     SlotTime t = base;
-    for (const auto& [name, len] : epochs) {
+    for (const auto& [name, len] : epoch_table(sched)) {
       tl.record("setup", name, t, t + len,
                 {{"attempt", static_cast<std::int64_t>(attempt)}});
       t += len;
     }
   };
   auto publish_totals = [&](const SetupOutcome& o) {
+    if (tuning.profiler != nullptr)
+      tuning.profiler->count("setup.slots", o.slots);
     if (tuning.telemetry == nullptr) return;
     telemetry::MetricsRegistry& reg = tuning.telemetry->metrics;
     reg.counter("setup.attempts").inc(o.attempts);
@@ -345,7 +357,21 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
   for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
     const SetupSchedule sched = setup_schedule(n, dl, tuning, attempt);
     const SlotTime attempt_end = attempt_start + sched.attempt_length();
-    while (net.now() < attempt_end) net.step();
+    {
+      // One perf span per attempt, one child per epoch; stepping epoch by
+      // epoch to the same fixed boundaries leaves the slot stream exactly
+      // as the flat while-loop produced it.
+      perf::PerfSpan attempt_span(tuning.profiler, "setup.attempt");
+      SlotTime epoch_end = attempt_start;
+      for (const auto& [name, len] : epoch_table(sched)) {
+        perf::PerfSpan epoch_span(tuning.profiler,
+                                  std::string("setup.") + name);
+        epoch_end += len;
+        while (net.now() < epoch_end) net.step();
+      }
+      while (net.now() < attempt_end) net.step();  // defensive; no-op
+    }
+    if (tuning.profiler != nullptr) tuning.profiler->count("setup.attempts");
     record_attempt_spans(attempt, attempt_start, sched);
     attempt_start = attempt_end;
     out.attempts = attempt + 1;

@@ -78,6 +78,14 @@ struct SetupTuning {
   /// Optional physical-event sink installed on the setup network.
   TraceSink* trace = nullptr;
 
+  /// Optional perf instrumentation: run_setup opens one "setup.attempt"
+  /// span per attempt with one child span per epoch (A..G boundaries are
+  /// globally known, so the spans need no station cooperation). Write-only
+  /// — timing never reaches the schedule or an Rng (perf-purity).
+  perf::Profiler* profiler = nullptr;
+  /// Optional per-slot observer installed on the setup network.
+  SlotHook* slot_hook = nullptr;
+
   /// Fault injection (src/faults/) applied to the setup network itself.
   /// The verify/restart machinery is what tolerates it: a mid-epoch crash
   /// surfaces as a failed verification and the schedule rolls into the

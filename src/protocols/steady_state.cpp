@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 
+#include "perf/profiler.h"
 #include "radio/network.h"
 #include "support/rng.h"
 #include "support/util.h"
@@ -13,7 +14,8 @@ namespace radiomc {
 SteadyStateOutcome run_collection_steady_state(
     const Graph& g, const BfsTree& tree, double lambda_per_phase,
     std::uint64_t phases, std::uint64_t warmup_phases, std::uint64_t seed,
-    ArrivalPlacement placement, const FaultPlan& faults) {
+    ArrivalPlacement placement, const FaultPlan& faults,
+    perf::Profiler* profiler, SlotHook* slot_hook) {
   const NodeId n = g.num_nodes();
   require(tree.num_nodes() == n, "steady_state: tree/graph mismatch");
   require(lambda_per_phase > 0.0 && lambda_per_phase < 1.0,
@@ -41,6 +43,7 @@ SteadyStateOutcome run_collection_steady_state(
   for (auto& s : st) adapters.emplace_back(*s);
   for (auto& a : adapters) ptrs.push_back(&a);
   RadioNetwork net(g);
+  if (slot_hook != nullptr) net.set_slot_hook(slot_hook);
   net.attach(std::move(ptrs));
 
   const std::uint64_t slots_per_phase = st[0]->clock().slots_per_phase();
@@ -62,7 +65,9 @@ SteadyStateOutcome run_collection_steady_state(
   std::uint64_t in_system = 0;
 
   const std::uint64_t total_phases = warmup_phases + phases;
+  perf::PerfSpan run_span(profiler, "steady.run");
   for (std::uint64_t phase = 0; phase < total_phases; ++phase) {
+    perf::PerfSpan phase_span(profiler, "steady.phase");
     // Sample, then admit this phase's arrival, then run the phase.
     if (phase >= warmup_phases)
       out.population.add(static_cast<double>(in_system));

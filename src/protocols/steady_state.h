@@ -39,10 +39,15 @@ struct SteadyStateOutcome {
 /// `faults`: optional fault plan compiled against the collection network.
 /// The run is bounded by its phase count, so no watchdog applies; faults
 /// show up as depressed delivery counts and inflated sojourns.
+/// `profiler` (optional) gets a "steady.run" span with one aggregated
+/// "steady.phase" child; `slot_hook` (optional) is installed on the
+/// network. Both are observers only — the arrival and slot streams are
+/// byte-identical with them on or off.
 SteadyStateOutcome run_collection_steady_state(
     const Graph& g, const BfsTree& tree, double lambda_per_phase,
     std::uint64_t phases, std::uint64_t warmup_phases, std::uint64_t seed,
     ArrivalPlacement placement = ArrivalPlacement::kDeepestLevel,
-    const FaultPlan& faults = {});
+    const FaultPlan& faults = {}, perf::Profiler* profiler = nullptr,
+    SlotHook* slot_hook = nullptr);
 
 }  // namespace radiomc

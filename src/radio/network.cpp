@@ -150,6 +150,9 @@ void RadioNetwork::step() {
   }
   ++now_;
   ++metrics_.slots;
+  // After the slot counter advances, so a hook observing slot t sees the
+  // world with t slots fully applied.
+  if (slot_hook_ != nullptr) slot_hook_->on_slot_done(now_);
 }
 
 void RadioNetwork::run(SlotTime count) {

@@ -97,6 +97,11 @@ class RadioNetwork {
   /// remove). Instrumentation only — stations cannot see it.
   void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
 
+  /// Installs a per-slot pulse observer (not owned; nullptr to remove),
+  /// called once at the end of every slot. One pointer test per slot when
+  /// unset — stream-identical to a build without the hook.
+  void set_slot_hook(SlotHook* hook) noexcept { slot_hook_ = hook; }
+
   /// Installs a fault schedule (not owned; nullptr to remove). A crashed
   /// station neither transmits nor receives (its slot hooks are not
   /// called); a down link carries nothing in either direction; a jammed
@@ -113,6 +118,7 @@ class RadioNetwork {
   SlotTime now_ = 0;
   NetMetrics metrics_;
   TraceSink* trace_ = nullptr;
+  SlotHook* slot_hook_ = nullptr;
   FaultSchedule* faults_ = nullptr;
   Rng capture_rng_;
 

@@ -27,6 +27,18 @@ class TraceSink {
                             std::uint32_t tx_neighbors) = 0;
 };
 
+/// Slot-granular observer, invoked once after every completed engine slot.
+/// This is the cadence spine for periodic live telemetry (the perf
+/// subsystem's SnapshotStreamer flushes metrics every N slots through it)
+/// and, like TraceSink, is engine-side scaffolding: the hook sees only the
+/// slot counter, stations cannot see the hook, and no protocol may base a
+/// decision on anything it computes.
+class SlotHook {
+ public:
+  virtual ~SlotHook() = default;
+  virtual void on_slot_done(SlotTime t) = 0;
+};
+
 /// Counts per-node activity; the cheap always-on-able sink.
 class ActivityCounter final : public TraceSink {
  public:

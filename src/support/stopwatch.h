@@ -1,0 +1,77 @@
+#pragma once
+
+// The one sanctioned clock in the simulation tree.
+//
+// Simulated time is SlotTime and must stay a pure function of the run
+// seed; wall-clock reads anywhere near model code are how irreproducible
+// runs are born, so the `no-wall-clock` lint rule bans clock identifiers
+// across src/ — except here and in src/perf/, the measurement layer built
+// on top of this header. Everything perf-related (profiler spans, run
+// timers, snapshot cadence stamps) funnels through these two functions so
+// there is exactly one place to audit: time flows *out* into reports,
+// never back into an Rng or a transmit decision (the `perf-purity` rules
+// enforce that direction statically).
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace radiomc {
+
+/// Monotonic time in nanoseconds from an arbitrary epoch. Comparable only
+/// against other values from this process.
+inline std::uint64_t monotonic_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Process CPU time in nanoseconds (all threads). Coarse (CLOCKS_PER_SEC
+/// granularity) but portable; used for the "CPU close to jobs x wall"
+/// pool-utilization signature in run records.
+inline std::uint64_t process_cpu_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      1e9 * static_cast<double>(std::clock()) /
+      static_cast<double>(CLOCKS_PER_SEC));
+}
+
+/// Free-running monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_ns_(monotonic_now_ns()) {}
+
+  void restart() noexcept { start_ns_ = monotonic_now_ns(); }
+
+  std::uint64_t elapsed_ns() const noexcept {
+    return monotonic_now_ns() - start_ns_;
+  }
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+/// RAII timer accumulating its lifetime into a caller-owned counter:
+///   { ScopedTimer t(&total_ns); work(); }   // total_ns += elapsed
+/// A null accumulator disables the timer entirely — no clock read — which
+/// is what makes profiling hooks free when observability is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::uint64_t* accumulate_into_ns) noexcept
+      : acc_(accumulate_into_ns),
+        start_ns_(acc_ != nullptr ? monotonic_now_ns() : 0) {}
+  ~ScopedTimer() {
+    if (acc_ != nullptr) *acc_ += monotonic_now_ns() - start_ns_;
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::uint64_t* acc_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace radiomc

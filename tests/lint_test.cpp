@@ -200,6 +200,121 @@ TEST(LintModelPurity, AnalysisIsOfflineOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// Family: perf-purity (plus the narrowed no-wall-clock allowlist).
+// ---------------------------------------------------------------------------
+
+TEST(LintPerfPurity, SteadyClockIsBannedOutsideTheStopwatch) {
+  const std::string body =
+      "#include <chrono>\n"
+      "long now() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  const auto findings = Lint({{"src/protocols/bad.cpp", body},
+                              // The sanctioned clock implementation itself.
+                              {"src/support/stopwatch.h", body},
+                              // The measurement layer built on top of it.
+                              {"src/perf/profiler.cpp", body}});
+  EXPECT_EQ(CountRule(findings, "no-wall-clock"), 1u);
+  for (const Finding& f : findings) {
+    if (f.rule == "no-wall-clock") {
+      EXPECT_EQ(f.file, "src/protocols/bad.cpp");
+    }
+  }
+}
+
+TEST(LintPerfPurity, StdClockCallIsBannedButDeclarationsAreNot) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp", "long f() { return std::clock(); }\n"},
+       // A constructor call / accessor declaration of an unrelated name.
+       {"src/analysis/ok.cpp",
+        "void g(const Schema& s) {\n"
+        "  const PhaseClock clock(s.slots);\n"
+        "  (void)clock;\n"
+        "}\n"
+        "struct S { const PhaseClock& clock() const; };\n"}});
+  EXPECT_EQ(CountRule(findings, "no-wall-clock"), 1u);
+  for (const Finding& f : findings) {
+    if (f.rule == "no-wall-clock") {
+      EXPECT_EQ(f.file, "src/protocols/bad.cpp");
+    }
+  }
+}
+
+TEST(LintPerfPurity, ModelHeadersMayNotIncludeTheMeasurementLayer) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.h", "#include \"perf/profiler.h\"\n"},
+       {"src/baselines/bad2.h", "#include \"support/stopwatch.h\"\n"},
+       {"src/radio/bad3.cpp", "#include \"perf/profiler.h\"\n"},
+       {"src/faults/bad4.cpp", "#include \"support/stopwatch.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "perf-purity-include"), 4u);
+}
+
+TEST(LintPerfPurity, DriverCppAndForwardDeclarationPass) {
+  const auto findings = Lint(
+      {// Driver translation units place spans; that is the sanctioned path.
+       {"src/protocols/driver.cpp", "#include \"perf/profiler.h\"\n"},
+       // Headers hold only a forward declaration and a raw pointer.
+       {"src/protocols/ok.h",
+        "namespace perf { class Profiler; }\n"
+        "struct Cfg { perf::Profiler* profiler = nullptr; };\n"},
+       // The perf layer may of course include itself.
+       {"src/perf/report.cpp", "#include \"perf/profiler.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "perf-purity-include"), 0u);
+}
+
+TEST(LintPerfPurity, TimingValuesAreBannedFromModelCode) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp",
+        "double budget(const Timer& t) { return t.elapsed_ms(); }\n"},
+       {"src/radio/bad2.cpp", "Stopwatch sw;\n"},
+       // Outside the model zone the same identifiers are fine.
+       {"src/perf/ok.cpp", "Stopwatch sw;\n"},
+       {"tools/ok2.cpp", "double x(const Timer& t) { return t.wall_ms(); }\n"}});
+  EXPECT_EQ(CountRule(findings, "perf-purity-flow"), 2u);
+  for (const Finding& f : findings) {
+    if (f.rule == "perf-purity-flow") {
+      EXPECT_TRUE(f.file == "src/protocols/bad.cpp" ||
+                  f.file == "src/radio/bad2.cpp")
+          << f.file;
+    }
+  }
+}
+
+TEST(LintPerfPurity, WriteOnlyProfilerSurfacePasses) {
+  // What the instrumented drivers actually do: spans and counters, no
+  // timing value ever read back.
+  const auto findings = Lint(
+      {{"src/protocols/driver.cpp",
+        "void drive(const Cfg& cfg) {\n"
+        "  perf::PerfSpan span(cfg.profiler, \"drive.run\");\n"
+        "  if (cfg.profiler != nullptr) cfg.profiler->count(\"slots\", 7);\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "perf-purity-flow"), 0u);
+  EXPECT_EQ(Unwaived(findings), 0u);
+}
+
+TEST(LintPerfPurity, WaiverSuppressesPerfPurityFinding) {
+  const auto findings = Lint(
+      {{"src/protocols/waived.h",
+        "// radiomc-lint: allow(perf-purity-include) reason=fixture\n"
+        "#include \"perf/profiler.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "perf-purity-include", /*waived_only=*/true),
+            1u);
+  EXPECT_EQ(Unwaived(findings), 0u);
+}
+
+TEST(LintPerfPurity, UnguardedProfilerDereferenceIsAHubFinding) {
+  // Profiler* / SlotHook* joined the optional-observability pointer set.
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp",
+        "struct Cfg { Profiler* profiler = nullptr; };\n"
+        "void run(const Cfg& cfg) {\n"
+        "  cfg.profiler->count(\"x\");\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Family: telemetry.
 // ---------------------------------------------------------------------------
 
@@ -437,12 +552,12 @@ TEST(LintOptionsTest, OnlyRulesRestrictsTheRun) {
   EXPECT_EQ(CountRule(findings, "unordered-container"), 0u);
 }
 
-TEST(LintCatalog, CoversAllFiveFamilies) {
+TEST(LintCatalog, CoversAllSixFamilies) {
   std::vector<std::string> families;
   for (const auto& r : radiomc::lint::rule_catalog())
     families.emplace_back(r.family);
-  for (const char* want : {"determinism", "model-purity", "telemetry",
-                           "exhaustiveness", "hygiene"}) {
+  for (const char* want : {"determinism", "model-purity", "perf-purity",
+                           "telemetry", "exhaustiveness", "hygiene"}) {
     EXPECT_NE(std::find(families.begin(), families.end(), want),
               families.end())
         << "missing family " << want;

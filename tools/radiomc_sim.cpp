@@ -21,6 +21,15 @@
 //                        explicit "truncated" record and publishes the
 //                        trace.dropped_events counter
 //
+// Performance observability (all protocol commands):
+//   --perf-out FILE      attach the in-process profiler and write a
+//                        radiomc.perf/v1 report (span tree, slots/sec,
+//                        peak RSS) after the run; simulation output is
+//                        byte-identical with or without it
+//   --snapshot-out FILE  stream periodic radiomc.snap/v1 metric snapshots
+//   --snapshot-every N   ... every N engine slots (both flags required
+//                        together; incompatible with --trials)
+//
 // Fault injection (protocol commands; topo/ethernet reject the flags):
 //   --fault-crash/--fault-recover/--fault-link-down/--fault-link-up
 //   --fault-jam/--fault-drop/--fault-epoch/--fault-from/--fault-until
@@ -47,6 +56,9 @@
 
 #include "faults/fault_plan.h"
 #include "graph/algorithms.h"
+#include "perf/profiler.h"
+#include "perf/report.h"
+#include "perf/snapshot.h"
 #include "graph/graph_io.h"
 #include "graph/topology_spec.h"
 #include "protocols/steady_state.h"
@@ -161,6 +173,12 @@ int usage() {
       "                --trace-agg N       (per-N-slot aggregate lines)\n"
       "                --trace-max N       (cap event lines; emits a "
       "'truncated' record)\n"
+      "                --perf-out FILE     (radiomc.perf/v1 profiler "
+      "report; output stays byte-identical)\n"
+      "                --snapshot-out FILE (radiomc.snap/v1 JSONL metric "
+      "snapshots)\n"
+      "                --snapshot-every N  (snapshot cadence in slots; "
+      "required with --snapshot-out)\n"
       "                --trials N          (independent repetitions; "
       "setup/flood/collect/p2p/broadcast)\n"
       "                --jobs J            (threads for --trials; 0 = all "
@@ -190,11 +208,18 @@ int usage() {
 }
 
 /// Per-command observability: one Telemetry hub shared by setup and the
-/// command's main protocol run, plus an optional JSONL trace sink.
+/// command's main protocol run, plus an optional JSONL trace sink, an
+/// optional profiler (--perf-out) and an optional snapshot stream
+/// (--snapshot-out/--snapshot-every).
 struct Obs {
   telemetry::Telemetry tel;
   std::unique_ptr<telemetry::JsonlTraceSink> sink;
+  std::unique_ptr<perf::Profiler> prof;
+  std::unique_ptr<perf::SnapshotStreamer> snap;
   std::string metrics_path;
+  std::string perf_path;
+  std::string perf_command;
+  unsigned perf_jobs = 1;
 
   static Obs from_args(const Args& a) {
     Obs o;
@@ -215,10 +240,27 @@ struct Obs {
           std::make_unique<telemetry::JsonlTraceSink>(trace_path, opt);
       require(o.sink->ok(), "cannot open --trace-out file " + trace_path);
     }
+    o.perf_path = a.get("perf-out", "");
+    o.perf_command = a.command;
+    if (!o.perf_path.empty()) o.prof = std::make_unique<perf::Profiler>();
+    // Same contract as --trace-agg/--trace-out: a cadence without a
+    // destination (or vice versa) is a hard error, never a silent no-op.
+    perf::SnapshotStreamer::validate_flags(a.has("snapshot-out"),
+                                           a.has("snapshot-every"),
+                                           a.get_u64("snapshot-every", 0));
+    const std::string snap_path = a.get("snapshot-out", "");
+    if (!snap_path.empty()) {
+      o.snap = std::make_unique<perf::SnapshotStreamer>(
+          snap_path, a.get_u64("snapshot-every", 0), &o.tel.metrics,
+          o.prof.get());
+      require(o.snap->ok(), "cannot open --snapshot-out file " + snap_path);
+    }
     return o;
   }
 
   telemetry::JsonlTraceSink* trace() { return sink.get(); }
+  perf::Profiler* profiler() { return prof.get(); }
+  SlotHook* slot_hook() { return snap.get(); }
 
   /// Flushes the trace and writes the metrics document; `rc` passes
   /// through so commands can end with `return obs.finish(rc);`.
@@ -245,6 +287,28 @@ struct Obs {
                   metrics_path.c_str(), tel.metrics.size(),
                   tel.timeline.spans().size());
     }
+    if (snap) {
+      snap->finish();
+      std::printf("  snapshots: %llu\n",
+                  static_cast<unsigned long long>(snap->snapshots_written()));
+    }
+    if (prof) {
+      perf::RunInfo run;
+      run.tool = "radiomc_sim";
+      run.command = perf_command;
+      run.jobs = perf_jobs;
+      // Engine slots for the slots/sec headline: the drivers publish
+      // "<proto>.slots" counters into the profiler; sum them. Read-only
+      // use of perf data by the perf layer itself (perf-purity holds).
+      for (const auto& [name, value] : prof->counters())
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".slots") == 0)
+          run.slots += value;
+      require(perf::write_perf_json_file(*prof, run, perf_path),
+              "cannot write --perf-out file " + perf_path);
+      std::printf("  perf: %s (%zu top-level spans)\n", perf_path.c_str(),
+                  prof->root().children.size());
+    }
     return rc;
   }
 };
@@ -265,7 +329,9 @@ struct World {
 World make_world(const Args& a, std::uint64_t seed, bool need_setup,
                  telemetry::Telemetry* tel = nullptr,
                  TraceSink* setup_trace = nullptr,
-                 const FaultPlan* setup_faults = nullptr) {
+                 const FaultPlan* setup_faults = nullptr,
+                 perf::Profiler* profiler = nullptr,
+                 SlotHook* setup_hook = nullptr) {
   Rng rng(seed);
   World w;
   w.g = gen::from_spec(a.get("topology", ""), rng);
@@ -275,6 +341,8 @@ World make_world(const Args& a, std::uint64_t seed, bool need_setup,
         static_cast<std::uint32_t>(a.get_u64("anon", 0));
     tuning.telemetry = tel;
     tuning.trace = setup_trace;
+    tuning.profiler = profiler;
+    tuning.slot_hook = setup_hook;
     if (setup_faults != nullptr) tuning.faults = *setup_faults;
     // --attempts caps the verify/restart loop; attempt lengths double, so
     // under sustained faults the default budget of 12 can take ~2^12x the
@@ -315,7 +383,8 @@ struct TrialOut {
 
 using CoreFn = TrialOut (*)(const Args&, std::uint64_t seed,
                             telemetry::Telemetry* tel,
-                            telemetry::JsonlTraceSink* trace);
+                            telemetry::JsonlTraceSink* trace,
+                            perf::Profiler* prof, SlotHook* hook);
 
 /// Dispatch for the trial-parallel commands. Without --trials this is the
 /// historical single-run path, byte for byte. With --trials N, trial t's
@@ -326,18 +395,23 @@ int run_cmd(const Args& a, CoreFn core) {
   Obs obs = Obs::from_args(a);
   const std::uint64_t trials = a.get_u64("trials", 1);
   if (trials <= 1) {
-    const TrialOut out = core(a, a.get_u64("seed", 1), &obs.tel, obs.trace());
+    const TrialOut out = core(a, a.get_u64("seed", 1), &obs.tel, obs.trace(),
+                              obs.profiler(), obs.slot_hook());
     std::fputs(out.report.c_str(), stdout);
     return obs.finish(out.rc);
   }
   require(!obs.sink,
           "--trace-out is incompatible with --trials: one physical-event "
           "trace cannot interleave independent runs (use --metrics-out)");
+  require(!obs.snap,
+          "--snapshot-out is incompatible with --trials: one snapshot "
+          "stream cannot interleave independent slot clocks");
   unsigned jobs = jobs_from_env(1);
   if (a.has("jobs")) {
     jobs = static_cast<unsigned>(a.get_u64("jobs", 1));
     if (jobs == 0) jobs = hardware_jobs();
   }
+  obs.perf_jobs = jobs;
   Rng root(a.get_u64("seed", 1));
   std::vector<std::uint64_t> seeds;
   seeds.reserve(trials);
@@ -348,14 +422,21 @@ int run_cmd(const Args& a, CoreFn core) {
     std::string report;
     std::unique_ptr<telemetry::Telemetry> tel;
   };
-  const auto outs = run_indexed(trials, jobs, [&](std::uint64_t t) {
-    Slot s;
-    s.tel = std::make_unique<telemetry::Telemetry>();
-    const TrialOut out = core(a, seeds[t], s.tel.get(), nullptr);
-    s.rc = out.rc;
-    s.report = out.report;
-    return s;
-  });
+  // The profiler is single-threaded, so per-trial cores run unprofiled and
+  // the command level records one aggregate span over the whole pool run —
+  // the same place per-trial telemetry merges.
+  const auto outs = [&] {
+    perf::PerfSpan pool_span(obs.profiler(), "trials.run");
+    return run_indexed(trials, jobs, [&](std::uint64_t t) {
+      Slot s;
+      s.tel = std::make_unique<telemetry::Telemetry>();
+      const TrialOut out =
+          core(a, seeds[t], s.tel.get(), nullptr, nullptr, nullptr);
+      s.rc = out.rc;
+      s.report = out.report;
+      return s;
+    });
+  }();
   std::uint64_t failures = 0;
   for (std::uint64_t t = 0; t < trials; ++t) {
     std::printf("[trial %llu] %s", static_cast<unsigned long long>(t),
@@ -402,7 +483,8 @@ int cmd_topo(const Args& a) {
 
 int cmd_steady(const Args& a) {
   Obs obs = Obs::from_args(a);
-  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel);
+  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel, nullptr,
+                       nullptr, obs.profiler());
   Rng rng(a.get_u64("seed", 1) ^ 0xB5);
   const double mu = queueing::mu_decay();
   const double lambda =
@@ -411,7 +493,8 @@ int cmd_steady(const Args& a) {
   const auto out = run_collection_steady_state(
       w.g, w.setup.tree, lambda, a.get_u64("phases", 20000),
       a.get_u64("warmup", 2000), rng.next(),
-      ArrivalPlacement::kDeepestLevel, faults);
+      ArrivalPlacement::kDeepestLevel, faults, obs.profiler(),
+      obs.slot_hook());
   obs.tel.timeline.record(
       "steady_state", "phases", 0, out.phases,  // span unit: phases
       {{"arrivals", static_cast<std::int64_t>(out.arrivals)},
@@ -438,11 +521,12 @@ int cmd_steady(const Args& a) {
 
 TrialOut setup_core(const Args& a, std::uint64_t seed,
                     telemetry::Telemetry* tel,
-                    telemetry::JsonlTraceSink* trace) {
+                    telemetry::JsonlTraceSink* trace, perf::Profiler* prof,
+                    SlotHook* hook) {
   const FaultPlan faults = faults_from_args(a);
   if (trace != nullptr) trace->set_protocol("setup");
-  const World w =
-      make_world(a, seed, true, tel, /*setup_trace=*/trace, &faults);
+  const World w = make_world(a, seed, true, tel, /*setup_trace=*/trace,
+                             &faults, prof, /*setup_hook=*/hook);
   TrialOut out;
   if (!w.setup.ok) {
     out.report = strf("setup on %s: %s after %u attempts (%llu slots)\n",
@@ -469,14 +553,20 @@ TrialOut setup_core(const Args& a, std::uint64_t seed,
 int cmd_setup(const Args& a) { return run_cmd(a, setup_core); }
 
 TrialOut flood_core(const Args& a, std::uint64_t seed,
-                    telemetry::Telemetry* tel, telemetry::JsonlTraceSink*) {
+                    telemetry::Telemetry* tel, telemetry::JsonlTraceSink*,
+                    perf::Profiler* prof, SlotHook*) {
   Rng rng(seed);
   const Graph g = gen::from_spec(a.get("topology", ""), rng);
   const NodeId source = static_cast<NodeId>(a.get_u64("source", 0));
   const FaultPlan faults = faults_from_args(a);
   const std::uint64_t phases =
       4 * (diameter(g) + 2 * ceil_log2(g.num_nodes()) + 4);
-  const auto out = run_bgi_broadcast(g, source, phases, rng.next(), faults);
+  const auto out = [&] {
+    // run_bgi_broadcast predates the config-struct hook plumbing; the
+    // span around the call still lands the flood in the perf report.
+    perf::PerfSpan span(prof, "flood.run");
+    return run_bgi_broadcast(g, source, phases, rng.next(), faults);
+  }();
   TrialOut r;
   r.report = strf("BGI flood from %u: informed %u/%u in %llu slots\n", source,
                   out.informed_count, g.num_nodes(),
@@ -500,8 +590,9 @@ int cmd_flood(const Args& a) { return run_cmd(a, flood_core); }
 
 TrialOut collect_core(const Args& a, std::uint64_t seed,
                       telemetry::Telemetry* tel,
-                      telemetry::JsonlTraceSink* trace) {
-  World w = make_world(a, seed, true, tel);
+                      telemetry::JsonlTraceSink* trace, perf::Profiler* prof,
+                      SlotHook* hook) {
+  World w = make_world(a, seed, true, tel, nullptr, nullptr, prof);
   Rng rng(seed ^ 0xC0);
   const std::uint64_t k = a.get_u64("k", 16);
   std::vector<Message> init;
@@ -524,6 +615,8 @@ TrialOut collect_core(const Args& a, std::uint64_t seed,
     trace->set_slot_structure(cfg.slots);
     trace->set_levels(w.setup.tree.level);
   }
+  cfg.profiler = prof;
+  cfg.slot_hook = hook;  // snapshots track the collection network's clock
   cfg.faults = faults_from_args(a);
   cfg.stall_slots = a.get_u64("fault-stall", 0);
   const auto out = run_collection(w.g, w.setup.tree, init, cfg, rng.next());
@@ -545,8 +638,9 @@ int cmd_collect(const Args& a) { return run_cmd(a, collect_core); }
 
 TrialOut p2p_core(const Args& a, std::uint64_t seed,
                   telemetry::Telemetry* tel,
-                  telemetry::JsonlTraceSink* trace) {
-  World w = make_world(a, seed, true, tel);
+                  telemetry::JsonlTraceSink* trace, perf::Profiler* prof,
+                  SlotHook* hook) {
+  World w = make_world(a, seed, true, tel, nullptr, nullptr, prof);
   Rng rng(seed ^ 0xB1);
   const std::uint64_t k = a.get_u64("k", 16);
   PreparationResult prep;
@@ -565,6 +659,8 @@ TrialOut p2p_core(const Args& a, std::uint64_t seed,
     trace->set_slot_structure(pcfg.slots);
     trace->set_levels(w.setup.tree.level);
   }
+  pcfg.profiler = prof;
+  pcfg.slot_hook = hook;
   pcfg.faults = faults_from_args(a);
   pcfg.stall_slots = a.get_u64("fault-stall", 0);
   const auto out = run_point_to_point(w.g, prep, reqs, pcfg, rng.next());
@@ -584,8 +680,9 @@ int cmd_p2p(const Args& a) { return run_cmd(a, p2p_core); }
 
 TrialOut broadcast_core(const Args& a, std::uint64_t seed,
                         telemetry::Telemetry* tel,
-                        telemetry::JsonlTraceSink* trace) {
-  World w = make_world(a, seed, true, tel);
+                        telemetry::JsonlTraceSink* trace,
+                        perf::Profiler* prof, SlotHook* hook) {
+  World w = make_world(a, seed, true, tel, nullptr, nullptr, prof);
   Rng rng(seed ^ 0xB2);
   const std::uint64_t k = a.get_u64("k", 16);
   BroadcastServiceConfig cfg = BroadcastServiceConfig::for_graph(w.g);
@@ -593,6 +690,8 @@ TrialOut broadcast_core(const Args& a, std::uint64_t seed,
       static_cast<std::uint32_t>(a.get_u64("window", 0));
   cfg.telemetry = tel;
   cfg.trace = trace;
+  cfg.profiler = prof;
+  cfg.slot_hook = hook;
   cfg.faults = faults_from_args(a);
   cfg.stall_slots = a.get_u64("fault-stall", 0);
   if (trace != nullptr) {
@@ -621,7 +720,8 @@ int cmd_broadcast(const Args& a) { return run_cmd(a, broadcast_core); }
 
 int cmd_ranking(const Args& a) {
   Obs obs = Obs::from_args(a);
-  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel);
+  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel, nullptr,
+                       nullptr, obs.profiler());
   Rng rng(a.get_u64("seed", 1) ^ 0xB3);
   PreparationResult prep;
   prep.ok = true;
@@ -646,7 +746,8 @@ int cmd_ranking(const Args& a) {
 int cmd_ethernet(const Args& a) {
   reject_fault_flags(a, "ethernet");
   Obs obs = Obs::from_args(a);
-  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel);
+  World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel, nullptr,
+                       nullptr, obs.profiler());
   Rng rng(a.get_u64("seed", 1) ^ 0xB4);
   const std::uint32_t frames =
       static_cast<std::uint32_t>(a.get_u64("frames", 1));
