@@ -79,9 +79,13 @@ Measurement measure(double min_time_ms, F&& body) {
   return m;
 }
 
-/// Engine slot throughput with all nodes idle (pure dispatch overhead).
+/// Engine slot throughput with all nodes idle. Opts into autosleep, so
+/// after the first slot the whole population is descheduled and each slot
+/// costs O(active) ~ O(1) — this is the workload the active-set rewrite
+/// exists for, and the row the perf gate watches for the speedup.
 class IdleStation final : public Station {
  public:
+  void on_attach(Waker& w) override { w.set_autosleep(true); }
   void on_slot(SlotTime, std::span<std::optional<Message>>) override {}
   void on_receive(SlotTime, ChannelId, const Message&) override {}
 };
@@ -102,9 +106,19 @@ Graph make_topology(const std::string& topology, NodeId n) {
     while (side * side < n) ++side;
     return gen::grid(side, side);
   }
+  Rng rng(0x9E3779B97F4A7C15ULL ^ n);
+  if (topology == "gnp_sparse") {
+    // O(n + m) skip sampler, not conditioned on connectivity — the engine
+    // doesn't care, and the O(n^2) sweep below cannot reach n = 10^6.
+    return gen::gnp_fast(n, 8.0 / static_cast<double>(n), rng);
+  }
+  if (topology == "udg") {
+    // Bucket-grid unit-disk sampler at a degree-targeted radius (expected
+    // degree ~12; the connectivity radius would be far denser at 10^6).
+    return gen::unit_disk_fast(n, gen::udg_degree_radius(n, 12.0), rng);
+  }
   // Edge probability scaled so expected degree stays ~8 across sizes
   // instead of a fixed p making the larger graph much denser.
-  Rng rng(0x9E3779B97F4A7C15ULL ^ n);
   const double p = 8.0 / static_cast<double>(n);
   return gen::gnp_connected(n, p, rng);
 }
@@ -137,6 +151,51 @@ void engine_case(const std::string& topology, NodeId n,
   json->row({{"case", "engine_slots"},
              {"topology", topology},
              {"workload", workload},
+             {"n", static_cast<int>(g.num_nodes())},
+             {"slots", m.units},
+             {"slots_per_sec", slots_per_sec},
+             {"node_slots_per_sec", node_slots_per_sec}});
+}
+
+/// Idle-heavy mixed cell: one permanently-active transmitter per 256
+/// stations (legacy, never touches its Waker), everyone else an autosleep
+/// IdleStation. Per-slot cost tracks the chatty 1/256th of the population —
+/// the shape of a large network where almost everything is quiet.
+void engine_sparse_case(const std::string& topology, NodeId n,
+                        double min_time_ms, bench::Table* table,
+                        bench::JsonEmitter* json) {
+  const Graph g = make_topology(topology, n);
+  std::deque<IdleStation> idle;
+  std::deque<ChattyStation> chatty;
+  std::vector<Station*> ptrs;
+  ptrs.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v % 256 == 0) {
+      chatty.emplace_back();
+      ptrs.push_back(&chatty.back());
+    } else {
+      idle.emplace_back();
+      ptrs.push_back(&idle.back());
+    }
+  }
+  RadioNetwork net(g);
+  net.attach(std::move(ptrs));
+
+  const Measurement m = measure(min_time_ms, [&](std::uint64_t batch) {
+    for (std::uint64_t i = 0; i < batch; ++i) net.step();
+    keep(net.now());
+  });
+
+  const double slots_per_sec = m.per_sec();
+  const double node_slots_per_sec =
+      slots_per_sec * static_cast<double>(g.num_nodes());
+  table->row({topology, "sparse",
+              bench::num(static_cast<std::uint64_t>(g.num_nodes())),
+              bench::num(m.units), bench::num(slots_per_sec, 0),
+              bench::num(node_slots_per_sec, 0)});
+  json->row({{"case", "engine_slots"},
+             {"topology", topology},
+             {"workload", "sparse"},
              {"n", static_cast<int>(g.num_nodes())},
              {"slots", m.units},
              {"slots_per_sec", slots_per_sec},
@@ -194,7 +253,19 @@ int run(int argc, char** argv) {
                                &json);
       engine_case<ChattyStation>(topology, n, "busy", min_time_ms, &engine,
                                  &json);
+      engine_sparse_case(topology, n, min_time_ms, &engine, &json);
     }
+  }
+  // Million-node cells (O(n + m) samplers; the engine only ever touches
+  // the stations that are doing something, which is what makes these rows
+  // runnable at all). "busy" is deliberately absent at this size: a
+  // 10^6-transmitter collision storm measures memory bandwidth, not the
+  // scheduler.
+  for (const char* topology : {"gnp_sparse", "udg"}) {
+    const NodeId big = 1000000;
+    engine_case<IdleStation>(topology, big, "idle", min_time_ms, &engine,
+                             &json);
+    engine_sparse_case(topology, big, min_time_ms, &engine, &json);
   }
   engine.print();
 

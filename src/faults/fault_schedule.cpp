@@ -115,11 +115,13 @@ void FaultSchedule::apply_epoch(std::uint64_t e) {
     if (alive_[v]) {
       if (onset && unit_draw(crash_key_, v, e) < plan_.crash_rate) {
         alive_[v] = 0;
+        ++crashed_;
         ++stats_.crashes;
       }
     } else if (plan_.recover_rate > 0.0 &&
                unit_draw(recover_key_, v, e) < plan_.recover_rate) {
       alive_[v] = 1;
+      --crashed_;
       ++stats_.recoveries;
     }
   }

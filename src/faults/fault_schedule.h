@@ -63,6 +63,11 @@ class FaultSchedule {
     return alive_.empty() || alive_[v] != 0;
   }
 
+  /// Number of currently-crashed nodes (0 when crash faults are off).
+  /// Maintained incrementally at epoch boundaries so the engine can charge
+  /// fault_crashed_slots per slot without scanning all n stations.
+  NodeId num_crashed() const noexcept { return crashed_; }
+
   /// Is the edge to the `k`-th neighbor of `u` (index into
   /// `graph.neighbors(u)`) up? Undirected: a down edge blocks both
   /// directions.
@@ -92,6 +97,7 @@ class FaultSchedule {
   std::uint64_t jam_key_ = 0, drop_key_ = 0;
 
   std::vector<std::uint8_t> alive_;       // per node; empty = all alive
+  NodeId crashed_ = 0;                    // count of zeros in alive_
   std::vector<std::uint8_t> link_state_;  // per undirected edge; empty = up
   std::vector<std::size_t> offset_;       // CSR offsets mirroring the graph
   std::vector<std::uint32_t> edge_id_;    // adjacency-aligned edge ids

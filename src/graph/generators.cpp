@@ -159,6 +159,40 @@ Graph gnp_connected(NodeId n, double p, Rng& rng, int max_attempts) {
   throw std::runtime_error("gnp_connected: failed to sample a connected graph");
 }
 
+Graph gnp_fast(NodeId n, double p, Rng& rng) {
+  require(n >= 1, "gnp_fast: n >= 1");
+  require(p > 0.0 && p <= 1.0, "gnp_fast: p in (0, 1]");
+  if (p >= 1.0) return complete(n);
+  // Batagelj-Brandes geometric skipping: walk the strictly-upper-triangular
+  // pair space (w < v) jumping Geometric(p) gaps, so work is O(n + m)
+  // rather than O(n^2) Bernoulli draws.
+  EdgeList e;
+  const double denom = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = rng.next_double();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / denom));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn)
+      e.emplace_back(static_cast<NodeId>(w), static_cast<NodeId>(v));
+  }
+  return Graph(n, e);
+}
+
+Graph gnp_sparse_connected(NodeId n, double p, Rng& rng, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g = gnp_fast(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error(
+      "gnp_sparse_connected: failed to sample a connected graph");
+}
+
 Graph unit_disk_connected(NodeId n, double radius, Rng& rng, int max_attempts) {
   require(n >= 1, "udg: n >= 1");
   require(radius > 0.0, "udg: radius > 0");
@@ -181,6 +215,68 @@ Graph unit_disk_connected(NodeId n, double radius, Rng& rng, int max_attempts) {
   }
   throw std::runtime_error(
       "unit_disk_connected: failed to sample a connected graph");
+}
+
+Graph unit_disk_fast(NodeId n, double radius, Rng& rng) {
+  require(n >= 1, "unit_disk_fast: n >= 1");
+  require(radius > 0.0, "unit_disk_fast: radius > 0");
+  const double r2 = radius * radius;
+  std::vector<double> x(n), y(n);
+  for (NodeId v = 0; v < n; ++v) {
+    x[v] = rng.next_double();
+    y[v] = rng.next_double();
+  }
+  // Bucket grid with cell width = radius: any in-range pair lives in the
+  // same or an adjacent cell, so each point checks 9 cells instead of n-1
+  // other points. Buckets are CSR over cell ids (counting sort), giving a
+  // deterministic member order (ascending point id per cell).
+  const auto grid =
+      static_cast<std::size_t>(std::min(std::floor(1.0 / radius) + 1.0,
+                                        static_cast<double>(n) + 1.0));
+  auto cell_of = [&](NodeId v) {
+    auto cx = static_cast<std::size_t>(x[v] / radius);
+    auto cy = static_cast<std::size_t>(y[v] / radius);
+    if (cx >= grid) cx = grid - 1;
+    if (cy >= grid) cy = grid - 1;
+    return cy * grid + cx;
+  };
+  std::vector<std::size_t> start(grid * grid + 1, 0);
+  for (NodeId v = 0; v < n; ++v) ++start[cell_of(v) + 1];
+  for (std::size_t c = 1; c < start.size(); ++c) start[c] += start[c - 1];
+  std::vector<NodeId> member(n);
+  {
+    std::vector<std::size_t> fill(start.begin(), start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) member[fill[cell_of(v)]++] = v;
+  }
+  EdgeList e;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto cx = static_cast<std::ptrdiff_t>(cell_of(u) % grid);
+    const auto cy = static_cast<std::ptrdiff_t>(cell_of(u) / grid);
+    for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+      for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+        const std::ptrdiff_t nx = cx + dx;
+        const std::ptrdiff_t ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(grid) ||
+            ny >= static_cast<std::ptrdiff_t>(grid))
+          continue;
+        const std::size_t c = static_cast<std::size_t>(ny) * grid +
+                              static_cast<std::size_t>(nx);
+        for (std::size_t i = start[c]; i < start[c + 1]; ++i) {
+          const NodeId v = member[i];
+          if (v <= u) continue;  // each pair once, as (u, v) with u < v
+          const double ddx = x[u] - x[v];
+          const double ddy = y[u] - y[v];
+          if (ddx * ddx + ddy * ddy <= r2) e.emplace_back(u, v);
+        }
+      }
+    }
+  }
+  return Graph(n, e);
+}
+
+double udg_degree_radius(NodeId n, double deg) {
+  const double nn = static_cast<double>(n < 2 ? 2 : n);
+  return std::sqrt(deg / (3.14159265358979323846 * nn));
 }
 
 double udg_connect_radius(NodeId n) {

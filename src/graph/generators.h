@@ -52,10 +52,36 @@ Graph barbell(NodeId clique, NodeId bridge);
 /// `max_attempts`) until connected; throws if it never connects.
 Graph gnp_connected(NodeId n, double p, Rng& rng, int max_attempts = 256);
 
+/// Erdos-Renyi G(n, p) sampled by geometric edge-gap skipping: O(n + m)
+/// work instead of the O(n^2) Bernoulli sweep above, which is what makes
+/// n = 10^6 sparse graphs constructible. NOT conditioned on connectivity
+/// (at p below ~ln n / n a giant component plus isolated vertices is the
+/// typical draw) — engine benchmarks don't need connectivity, protocol
+/// completeness experiments do; those should use gnp_sparse_connected.
+/// Draws a different stream than gnp_connected, so the two are distinct
+/// named topologies, not interchangeable samplers.
+Graph gnp_fast(NodeId n, double p, Rng& rng);
+
+/// gnp_fast conditioned on connectivity (resamples up to `max_attempts`).
+/// Use p >= ~1.5 ln n / n or expect the attempts to run out.
+Graph gnp_sparse_connected(NodeId n, double p, Rng& rng,
+                           int max_attempts = 256);
+
 /// Random geometric / unit-disk graph: n points uniform in the unit square,
 /// edge iff distance <= radius; resamples until connected.
 Graph unit_disk_connected(NodeId n, double radius, Rng& rng,
                           int max_attempts = 256);
+
+/// Unit-disk graph sampled with a bucket grid of cell width `radius`
+/// (each point is tested only against the 9 surrounding cells): O(n + m)
+/// expected instead of the O(n^2) pair sweep, for million-node layouts.
+/// NOT conditioned on connectivity; see gnp_fast for the rationale.
+Graph unit_disk_fast(NodeId n, double radius, Rng& rng);
+
+/// A radius giving expected degree ~`deg` in a unit-disk graph (below the
+/// connectivity threshold for large n — bench topologies, not protocol
+/// topologies): sqrt(deg / (pi n)).
+double udg_degree_radius(NodeId n, double deg);
 
 /// A radius that makes unit_disk_connected connect quickly:
 /// ~ sqrt(2.5 ln n / n).

@@ -223,7 +223,11 @@ void rule_unordered_container(const LexedFile& f, std::vector<Finding>* out) {
 /// not part of the per-node model.
 const std::set<std::string_view> kProtocolRadioAllowlist = {
     "radio/message.h", "radio/station.h", "radio/schedule.h",
-    "radio/trace.h"};
+    "radio/trace.h",
+    // The Waker handle is the station-visible half of the active-set
+    // scheduler (a station may put *itself* to sleep and wake *itself*);
+    // the engine-side container (radio/active_set.h) stays forbidden.
+    "radio/waker.h"};
 
 void rule_engine_include(const LexedFile& f, std::vector<Finding>* out) {
   if (!in_dir(f.path, "src/protocols") || !is_header(f.path)) return;

@@ -73,11 +73,23 @@ VirtualEthernet::VirtualEthernet(const Graph& g, const BfsTree& tree,
     muxes_.push_back(std::make_unique<ChannelMuxStation>(
         std::vector<SubStation*>{coll_[v].get(), dist_[v].get()}));
   for (auto& m : muxes_) ptrs.push_back(m.get());
+  // The fault seed is derived only when a plan is enabled, and after the
+  // per-station splits above: fault-free buses consume exactly the
+  // historical stream (Rng::split advances the parent, so an
+  // unconditional draw here would shift every later consumer).
+  if (cfg_.faults.any())
+    faults_ = std::make_unique<FaultSchedule>(
+        g, cfg_.faults, master.split(kFaultStreamTag).next());
   net_ = std::make_unique<RadioNetwork>(g, ncfg);
+  if (faults_) net_->set_faults(faults_.get());
   net_->attach(std::move(ptrs));
 }
 
 SlotTime VirtualEthernet::now() const { return net_->now(); }
+
+const NetMetrics& VirtualEthernet::bus_metrics() const {
+  return net_->metrics();
+}
 
 void VirtualEthernet::start_round(NodeId v, std::uint32_t round) {
   const std::optional<std::uint32_t> offer =
@@ -160,14 +172,15 @@ std::vector<VirtualEthernet::RoundOutcome> VirtualEthernet::run_rounds(
 BackoffOutcome run_ethernet_backoff(
     const Graph& g, const BfsTree& tree,
     const std::vector<std::uint32_t>& backlog_per_node, std::uint64_t seed,
-    std::uint32_t max_rounds) {
+    std::uint32_t max_rounds, const FaultPlan& faults) {
   const NodeId n = g.num_nodes();
   require(backlog_per_node.size() == n,
           "run_ethernet_backoff: one backlog per node");
   Rng master(seed);
 
-  VirtualEthernet bus(g, tree, VirtualEthernet::Config::for_graph(g),
-                      master.next());
+  VirtualEthernet::Config cfg = VirtualEthernet::Config::for_graph(g);
+  cfg.faults = faults;
+  VirtualEthernet bus(g, tree, cfg, master.next());
 
   // Per-node MAC state, updated from the shared feedback each round.
   struct Mac {
@@ -238,6 +251,7 @@ BackoffOutcome run_ethernet_backoff(
   out.rounds_used = out.completed ? done_round
                                   : static_cast<std::uint32_t>(outcomes.size());
   out.slots = bus.now();
+  out.net = bus.bus_metrics();
   return out;
 }
 

@@ -33,6 +33,8 @@
 #include <optional>
 #include <vector>
 
+#include "faults/fault_plan.h"
+#include "faults/fault_schedule.h"
 #include "protocols/collection.h"
 #include "protocols/distribution.h"
 #include "protocols/tree.h"
@@ -49,6 +51,14 @@ class VirtualEthernet {
   struct Config {
     CollectionConfig collection;
     DistributionConfig distribution;
+    /// Faults injected into the virtual bus's own radio layer. The §3/§6
+    /// reliability of the underlying channels absorbs jam/drop noise (the
+    /// bus stays exact, just slower). Crash plans without a recover_rate
+    /// can stall a round forever — the root waits for all n reports — so
+    /// pair crash_rate with recovery, or bound the run with max_slots.
+    /// All-zero (the default) is byte-identical to the pre-fault-aware
+    /// bus: the fault seed is only drawn when the plan is enabled.
+    FaultPlan faults;
 
     static Config for_graph(const Graph& g) {
       Config c;
@@ -93,6 +103,9 @@ class VirtualEthernet {
   const std::vector<RoundOutcome>& outcomes_at(NodeId v) const {
     return node_outcomes_[v];
   }
+  /// Radio-layer counters of the virtual bus (fault_jams / fault_drops
+  /// show how much noise the emulation absorbed).
+  const NetMetrics& bus_metrics() const;
 
  private:
   void start_round(NodeId v, std::uint32_t round);
@@ -105,6 +118,7 @@ class VirtualEthernet {
   std::vector<std::unique_ptr<CollectionStation>> coll_;
   std::vector<std::unique_ptr<DistributionStation>> dist_;
   std::vector<std::unique_ptr<Station>> muxes_;
+  std::unique_ptr<FaultSchedule> faults_;  ///< null when the plan is off
   std::unique_ptr<RadioNetwork> net_;
 
   std::vector<std::uint32_t> node_round_;       ///< rounds observed so far
@@ -126,10 +140,15 @@ struct BackoffOutcome {
   std::uint32_t rounds_used = 0;
   SlotTime slots = 0;
   std::vector<std::uint32_t> delivered_frames;  ///< in bus order
+  NetMetrics net;  ///< the virtual bus's radio-layer counters
 };
+/// `faults` is injected into the bus's radio layer (see
+/// VirtualEthernet::Config::faults); the default disabled plan leaves the
+/// run byte-identical to the historical fault-free signature.
 BackoffOutcome run_ethernet_backoff(const Graph& g, const BfsTree& tree,
                                     const std::vector<std::uint32_t>& backlog_per_node,
                                     std::uint64_t seed,
-                                    std::uint32_t max_rounds = 4096);
+                                    std::uint32_t max_rounds = 4096,
+                                    const FaultPlan& faults = {});
 
 }  // namespace radiomc

@@ -1,0 +1,47 @@
+#pragma once
+
+// Flat compressed-sparse-row adjacency, rebuilt from a Graph once at
+// attach time and owned by the engine.
+//
+// Graph already stores CSR internally, but hides it behind the
+// span-returning `neighbors()` accessor. The slot hot path wants raw
+// pointers it can index without a function call per transmitter, and wants
+// the neighbor-index `k` explicit because FaultSchedule::link_up(u, k) is
+// keyed on it. Copying the two arrays here (a few MB even at n = 10^6,
+// paid once) also decouples the engine's cache behavior from whatever the
+// Graph object sits next to in memory.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace radiomc {
+
+struct CsrAdjacency {
+  std::vector<std::size_t> offsets;  ///< n + 1 entries
+  std::vector<NodeId> targets;       ///< 2m entries, ascending within a row
+
+  void build(const Graph& g) {
+    const NodeId n = g.num_nodes();
+    offsets.resize(static_cast<std::size_t>(n) + 1);
+    targets.clear();
+    targets.reserve(g.num_edges() * 2);
+    offsets[0] = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      targets.insert(targets.end(), nbrs.begin(), nbrs.end());
+      offsets[static_cast<std::size_t>(v) + 1] = targets.size();
+    }
+  }
+
+  std::size_t degree(NodeId v) const noexcept {
+    return offsets[static_cast<std::size_t>(v) + 1] -
+           offsets[static_cast<std::size_t>(v)];
+  }
+  const NodeId* row(NodeId v) const noexcept {
+    return targets.data() + offsets[v];
+  }
+};
+
+}  // namespace radiomc

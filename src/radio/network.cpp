@@ -16,8 +16,13 @@ RadioNetwork::RadioNetwork(const Graph& g, Config cfg)
           "RadioNetwork: capture_prob in [0, 1]");
   const std::size_t cells =
       static_cast<std::size_t>(g.num_nodes()) * cfg_.num_channels;
-  rx_.resize(cells);
-  actions_.resize(cells);
+  act_epoch_.assign(cells, 0);
+  act_msg_.assign(cells, Message{});
+  rx_epoch_.assign(cells, 0);
+  rx_count_.assign(cells, 0);
+  rx_msg_.assign(cells, nullptr);
+  keep_.assign(g.num_nodes(), 0);
+  row_.assign(cfg_.num_channels, std::nullopt);
 }
 
 void RadioNetwork::attach(std::vector<Station*> stations) {
@@ -26,11 +31,18 @@ void RadioNetwork::attach(std::vector<Station*> stations) {
   for (Station* s : stations)
     require(s != nullptr, "RadioNetwork::attach: null station");
   stations_ = std::move(stations);
+  const NodeId n = graph_->num_nodes();
+  adj_.build(*graph_);
+  active_set_.reset(n);
+  wakers_.assign(n, Waker{});
+  for (NodeId v = 0; v < n; ++v) {
+    active_set_.bind(&wakers_[v], v);
+    stations_[v]->on_attach(wakers_[v]);
+  }
 }
 
 void RadioNetwork::step() {
   require(!stations_.empty(), "RadioNetwork::step: no stations attached");
-  const NodeId n = graph_->num_nodes();
   const ChannelId channels = cfg_.num_channels;
   // Disabled schedules cost one pointer test per slot; every per-node /
   // per-edge branch below is guarded on `fs` so the fault-free path is the
@@ -38,40 +50,56 @@ void RadioNetwork::step() {
   FaultSchedule* fs =
       (faults_ != nullptr && faults_->enabled()) ? faults_ : nullptr;
   if (fs) fs->begin_slot(now_);
+  active_set_.begin_slot();
   ++epoch_;
   tx_list_.clear();
+  touched_.clear();
 
-  // Phase 1: collect transmit intents (one optional message per channel).
+  // Phase 1: collect transmit intents (one optional message per channel)
+  // from the active set, in ascending node order — the same order the
+  // legacy full scan produced, so the transmit stream is byte-identical.
   // Crashed stations are not polled: they neither transmit nor advance
-  // their protocol state (it stays frozen until recovery).
-  for (NodeId v = 0; v < n; ++v) {
-    auto row = std::span<std::optional<Message>>(
-        actions_.data() + static_cast<std::size_t>(v) * channels, channels);
-    for (auto& a : row) a.reset();
+  // their protocol state (it stays frozen until recovery), and their
+  // active-set membership is frozen with it.
+  if (fs) metrics_.fault_crashed_slots += fs->num_crashed();
+  const std::span<const NodeId> active = active_set_.active();
+  if (active.size() > stats_.peak_active) stats_.peak_active = active.size();
+  for (const NodeId v : active) {
     if (fs && !fs->node_alive(v)) {
-      ++metrics_.fault_crashed_slots;
+      keep_[v] = 1;
       continue;
     }
-    stations_[v]->on_slot(now_, row);
+    ++stats_.station_polls;
+    for (auto& a : row_) a.reset();
+    stations_[v]->on_slot(now_, std::span<std::optional<Message>>(row_));
+    std::uint8_t sent = 0;
+    const std::size_t base = static_cast<std::size_t>(v) * channels;
     for (ChannelId c = 0; c < channels; ++c) {
-      if (!row[c]) continue;
-      row[c]->sender = v;  // the radio layer stamps the physical sender
+      if (!row_[c]) continue;
+      sent = 1;
+      row_[c]->sender = v;  // the radio layer stamps the physical sender
+      act_epoch_[base + c] = epoch_;
+      act_msg_[base + c] = *row_[c];
       tx_list_.emplace_back(v, c);
       ++metrics_.transmissions;
-      if (trace_) trace_->on_transmit(now_, v, c, *row[c]);
+      if (trace_) trace_->on_transmit(now_, v, c, act_msg_[base + c]);
     }
+    keep_[v] = sent;
   }
 
-  // Phase 2: superpose transmissions at each potential receiver. In the
-  // capture model the surviving message is a uniform choice among the
-  // transmitting neighbors (reservoir sampling); in the main model only a
-  // lone transmitter's message matters, so the kept pointer is arbitrary
-  // beyond count 1.
+  // Phase 2: superpose transmissions at each potential receiver — a CSR
+  // scatter over the flat adjacency copy into epoch-stamped counters;
+  // newly-touched cells are recorded so Phase 3 never scans the full
+  // (node, channel) space. In the capture model the surviving message is a
+  // uniform choice among the transmitting neighbors (reservoir sampling);
+  // in the main model only a lone transmitter's message matters, so the
+  // kept pointer is arbitrary beyond count 1.
   const bool capture = cfg_.capture_prob > 0.0;
-  for (auto [u, c] : tx_list_) {
-    const Message& m = *actions_[static_cast<std::size_t>(u) * channels + c];
-    const auto nbrs = graph_->neighbors(u);
-    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+  for (const auto& [u, c] : tx_list_) {
+    const Message& m = act_msg_[static_cast<std::size_t>(u) * channels + c];
+    const NodeId* nbrs = adj_.row(u);
+    const std::size_t deg = adj_.degree(u);
+    for (std::size_t k = 0; k < deg; ++k) {
       const NodeId v = nbrs[k];
       if (fs) {
         if (!fs->node_alive(v)) continue;  // crashed receivers hear nothing
@@ -80,74 +108,77 @@ void RadioNetwork::step() {
           continue;
         }
       }
-      RxSlot& slot = rx_[static_cast<std::size_t>(v) * channels + c];
-      if (slot.epoch != epoch_) {
-        slot.epoch = epoch_;
-        slot.tx_neighbors = 0;
+      const std::size_t cell = static_cast<std::size_t>(v) * channels + c;
+      if (rx_epoch_[cell] != epoch_) {
+        rx_epoch_[cell] = epoch_;
+        rx_count_[cell] = 0;
+        touched_.push_back(cell);
       }
-      ++slot.tx_neighbors;
-      if (slot.tx_neighbors == 1) {
-        slot.msg = &m;
-      } else if (capture &&
-                 capture_rng_.next_below(slot.tx_neighbors) == 0) {
-        slot.msg = &m;
+      const std::uint32_t cnt = ++rx_count_[cell];
+      if (cnt == 1) {
+        rx_msg_[cell] = &m;
+      } else if (capture && capture_rng_.next_below(cnt) == 0) {
+        rx_msg_[cell] = &m;
       }
     }
   }
 
   // Phase 3: deliver where exactly one neighbor transmitted and the
-  // receiver was listening on that channel.
-  for (NodeId v = 0; v < n; ++v) {
-    if (fs && !fs->node_alive(v)) continue;
-    const std::size_t base = static_cast<std::size_t>(v) * channels;
+  // receiver was listening on that channel. Touched cells sorted by index
+  // reproduce the legacy engine's (node asc, channel asc) visit order,
+  // which keeps delivery callbacks, trace events and capture-probability
+  // draws in the identical sequence.
+  std::sort(touched_.begin(), touched_.end());
+  for (const std::size_t cell : touched_) {
+    const NodeId v = static_cast<NodeId>(cell / channels);
+    const ChannelId c = static_cast<ChannelId>(cell % channels);
+    const std::size_t base = cell - c;
     bool transmitted_any = false;
     if (!cfg_.rx_while_tx_other) {
-      for (ChannelId c = 0; c < channels; ++c)
-        transmitted_any |= actions_[base + c].has_value();
+      for (ChannelId c2 = 0; c2 < channels; ++c2)
+        transmitted_any |= act_epoch_[base + c2] == epoch_;
     }
-    for (ChannelId c = 0; c < channels; ++c) {
-      RxSlot& slot = rx_[base + c];
-      if (slot.epoch != epoch_ || slot.tx_neighbors == 0) continue;
-      const bool listening =
-          !actions_[base + c].has_value() && !transmitted_any;
-      if (!listening) continue;
-      if (slot.tx_neighbors == 1) {
-        if (fs && fs->jammed(now_, v, c)) {
-          // Jamming kills an otherwise-clean reception; the receiver
-          // observes silence indistinguishable from a collision.
-          ++metrics_.fault_jams;
-          if (trace_) trace_->on_collision(now_, v, c, slot.tx_neighbors);
-          continue;
-        }
-        if (fs && fs->dropped(now_, v, c)) {
-          ++metrics_.fault_drops;
-          continue;
-        }
-        ++metrics_.deliveries;
-        if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
-        stations_[v]->on_receive(now_, c, *slot.msg);
-      } else if (capture && capture_rng_.bernoulli(cfg_.capture_prob)) {
-        // Remark 3: the conflict resolves to one of the messages.
-        if (fs && fs->dropped(now_, v, c)) {
-          ++metrics_.fault_drops;
-          continue;
-        }
-        ++metrics_.deliveries;
-        ++metrics_.capture_deliveries;
-        if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
-        stations_[v]->on_receive(now_, c, *slot.msg);
-      } else {
-        ++metrics_.collision_events;
-        if (trace_) trace_->on_collision(now_, v, c, slot.tx_neighbors);
-        // No collision detection: the station is not told anything.
+    const bool listening = act_epoch_[cell] != epoch_ && !transmitted_any;
+    if (!listening) continue;
+    const std::uint32_t cnt = rx_count_[cell];
+    if (cnt == 1) {
+      if (fs && fs->jammed(now_, v, c)) {
+        // Jamming kills an otherwise-clean reception; the receiver
+        // observes silence indistinguishable from a collision.
+        ++metrics_.fault_jams;
+        if (trace_) trace_->on_collision(now_, v, c, cnt);
+        continue;
       }
+      if (fs && fs->dropped(now_, v, c)) {
+        ++metrics_.fault_drops;
+        continue;
+      }
+      ++metrics_.deliveries;
+      if (trace_) trace_->on_deliver(now_, v, c, *rx_msg_[cell]);
+      stations_[v]->on_receive(now_, c, *rx_msg_[cell]);
+    } else if (capture && capture_rng_.bernoulli(cfg_.capture_prob)) {
+      // Remark 3: the conflict resolves to one of the messages.
+      if (fs && fs->dropped(now_, v, c)) {
+        ++metrics_.fault_drops;
+        continue;
+      }
+      ++metrics_.deliveries;
+      ++metrics_.capture_deliveries;
+      if (trace_) trace_->on_deliver(now_, v, c, *rx_msg_[cell]);
+      stations_[v]->on_receive(now_, c, *rx_msg_[cell]);
+    } else {
+      ++metrics_.collision_events;
+      if (trace_) trace_->on_collision(now_, v, c, cnt);
+      // No collision detection: the station is not told anything.
     }
   }
 
-  for (NodeId v = 0; v < n; ++v) {
+  for (const NodeId v : active) {
     if (fs && !fs->node_alive(v)) continue;
     stations_[v]->on_slot_end(now_);
   }
+  active_set_.end_slot(keep_.data());
+  stats_.wake_events = active_set_.wake_events();
   ++now_;
   ++metrics_.slots;
   // After the slot counter advances, so a hook observing slot t sees the

@@ -17,6 +17,19 @@
 // transmitting on. Set `rx_while_tx_other = false` for a strict
 // single-transceiver half-duplex variant. Single-channel time
 // multiplexing is expressed by TimeDivisionStation (see station.h).
+//
+// Active-set hot path: per-slot cost is proportional to the stations that
+// are *doing* something, not to n. Phase 1 polls only the active set
+// (stations sleep via the Waker contract of radio/waker.h; stations that
+// never touch their Waker stay permanently active, the legacy behavior).
+// Phase 2 scatters each transmission over a flat CSR adjacency copy
+// (radio/csr.h) into epoch-stamped struct-of-arrays receiver cells,
+// recording each newly-touched cell; Phase 3 visits only the touched
+// cells, in (node, channel) order. The delivery stream, NetMetrics,
+// traces, and capture-RNG consumption are byte-identical to the pre-
+// rewrite full-scan engine — proven over a randomized matrix by
+// tests/engine_diff_test.cpp against the frozen reference implementation
+// in tests/reference_engine.{h,cpp}.
 
 #include <cstdint>
 #include <optional>
@@ -24,6 +37,8 @@
 
 #include "faults/fault_schedule.h"
 #include "graph/graph.h"
+#include "radio/active_set.h"
+#include "radio/csr.h"
 #include "radio/message.h"
 #include "radio/station.h"
 #include "radio/trace.h"
@@ -49,6 +64,16 @@ struct NetMetrics {
   std::uint64_t fault_crashed_slots = 0;  ///< (node, slot) pairs spent crashed
 
   void reset() { *this = NetMetrics{}; }
+};
+
+/// Scheduling observability, separate from NetMetrics because it describes
+/// the engine's own economy rather than the simulated radio physics (and
+/// NetMetrics must stay field-for-field comparable with the reference
+/// engine). Tests use it to prove the active set actually pays off.
+struct EngineStats {
+  std::uint64_t station_polls = 0;  ///< on_slot invocations
+  std::uint64_t wake_events = 0;    ///< Waker::wake calls that raised a mark
+  std::uint64_t peak_active = 0;    ///< max active-set size seen in a slot
 };
 
 class RadioNetwork {
@@ -77,8 +102,10 @@ class RadioNetwork {
   explicit RadioNetwork(const Graph& g) : RadioNetwork(g, Config{}) {}
   RadioNetwork(const Graph& g, Config cfg);
 
-  /// Registers the stations, one per node, in node-id order. Stations are
-  /// not owned; the caller keeps them alive while the network runs.
+  /// Registers the stations, one per node, in node-id order, builds the
+  /// flat CSR scatter structure, and calls each station's `on_attach` with
+  /// its Waker (in node order). Stations are not owned; the caller keeps
+  /// them alive while the network runs.
   void attach(std::vector<Station*> stations);
 
   /// Runs one synchronous slot.
@@ -92,6 +119,19 @@ class RadioNetwork {
   const Config& config() const noexcept { return cfg_; }
   const NetMetrics& metrics() const noexcept { return metrics_; }
   NetMetrics& metrics() noexcept { return metrics_; }
+  const EngineStats& engine_stats() const noexcept { return stats_; }
+
+  /// Active-set introspection (tests, debugging; not part of the radio
+  /// model — stations must never consult another station's activity).
+  bool station_active(NodeId v) const noexcept {
+    return active_set_.contains(v);
+  }
+  std::size_t active_station_count() const noexcept {
+    return active_set_.active().size();
+  }
+  /// Wakes a station from driver level (between slots), e.g. to deliver an
+  /// out-of-band arrival to a sleeping queue station.
+  void wake_station(NodeId v) { active_set_.wake(v); }
 
   /// Installs an observer for physical events (not owned; nullptr to
   /// remove). Instrumentation only — stations cannot see it.
@@ -117,21 +157,30 @@ class RadioNetwork {
   std::vector<Station*> stations_;
   SlotTime now_ = 0;
   NetMetrics metrics_;
+  EngineStats stats_;
   TraceSink* trace_ = nullptr;
   SlotHook* slot_hook_ = nullptr;
   FaultSchedule* faults_ = nullptr;
   Rng capture_rng_;
 
-  // Per-slot scratch, epoch-stamped to avoid O(n) clears per channel.
-  struct RxSlot {
-    std::uint64_t epoch = 0;
-    std::uint32_t tx_neighbors = 0;
-    const Message* msg = nullptr;  // valid when tx_neighbors == 1
-  };
-  std::vector<RxSlot> rx_;                      // n * num_channels
+  // Scheduling state.
+  ActiveSet active_set_;
+  std::vector<Waker> wakers_;        // one per node, stable after attach
+  CsrAdjacency adj_;                 // flat scatter structure
+
+  // Per-slot state, all epoch-stamped so nothing is cleared per slot.
+  // Struct-of-arrays: the hot loops touch one narrow array each instead of
+  // striding over fat records.
   std::uint64_t epoch_ = 0;
-  std::vector<std::optional<Message>> actions_;  // n * num_channels
-  std::vector<std::pair<NodeId, ChannelId>> tx_list_;  // scratch
+  std::vector<std::uint64_t> act_epoch_;  // cell transmitted this slot iff == epoch_
+  std::vector<Message> act_msg_;          // valid iff act_epoch_ matches
+  std::vector<std::uint64_t> rx_epoch_;   // cell touched this slot iff == epoch_
+  std::vector<std::uint32_t> rx_count_;   // transmitting neighbors, iff epoch matches
+  std::vector<const Message*> rx_msg_;    // surviving message, iff epoch matches
+  std::vector<std::uint8_t> keep_;        // ActiveSet retention flag, by node
+  std::vector<std::optional<Message>> row_;  // per-poll scratch, num_channels wide
+  std::vector<std::pair<NodeId, ChannelId>> tx_list_;  // this slot's transmissions
+  std::vector<std::size_t> touched_;      // rx cells stamped this slot
 };
 
 }  // namespace radiomc

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "radio/message.h"
+#include "radio/waker.h"
 
 namespace radiomc {
 
@@ -33,6 +34,15 @@ class Station {
   Station() = default;
   Station(const Station&) = delete;
   Station& operator=(const Station&) = delete;
+
+  /// Called once when the engine adopts the station, before the first
+  /// slot. `w` stays valid for the station's attached lifetime. The
+  /// default ignores it, leaving the station permanently active (the
+  /// legacy contract — always correct). Stations whose idle slots are
+  /// provably side-effect-free may keep the handle, `w.set_autosleep(true)`
+  /// and `w.wake()` on the events that make them want to transmit; see
+  /// radio/waker.h for the exact promise this makes to the engine.
+  virtual void on_attach(Waker& /*w*/) {}
 
   /// Decide this slot's action: `tx` has one entry per channel; set
   /// `tx[c]` to transmit on channel c, leave it empty to listen there.

@@ -1,0 +1,384 @@
+// Randomized engine-invariant property tests for the active-set
+// RadioNetwork. Where engine_diff_test.cpp proves the rewrite equals the
+// frozen reference byte-for-byte, this suite checks that both of them
+// compute the *model* of §1.1 — properties stated directly against the
+// paper's semantics, verified on the event stream of randomized runs:
+//
+//   * every delivery is explained by exactly one transmitting neighbor of
+//     the receiver, on that channel, in that same slot, carrying that very
+//     message (which also rules out any cross-slot leakage of the
+//     epoch-stamped rx cells: a stale cell would surface as a delivery
+//     with no same-slot transmitter);
+//   * every collision event has >= 2 transmitting neighbors (fault-free
+//     runs; jams are the txn == 1 case and only exist under a plan);
+//   * deliveries are bounded by the transmitters' degrees (the radio
+//     analogue of "deliveries <= transmissions": one transmission can be
+//     heard by at most deg(sender) stations);
+//   * crashed stations never transmit and never receive, checked against
+//     the fault schedule's per-slot alive view;
+//   * active-set membership is exactly "transmitted last slot, or woken,
+//     or not autosleeping" — predicted by an independent model in the
+//     test and compared against both the stations' observed polls and
+//     RadioNetwork::station_active.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "faults/fault_schedule.h"
+#include "graph/generators.h"
+#include "radio/network.h"
+#include "support/rng.h"
+
+namespace radiomc {
+namespace {
+
+/// Legacy random transmitter (never touches its Waker).
+class Chatter : public Station {
+ public:
+  Chatter(NodeId self, ChannelId channels, double tx_prob, Rng rng)
+      : self_(self), channels_(channels), tx_prob_(tx_prob), rng_(rng) {}
+
+  void on_slot(SlotTime, std::span<std::optional<Message>> tx) override {
+    if (!rng_.bernoulli(tx_prob_)) return;
+    Message m;
+    m.origin = self_;
+    m.seq = seq_++;
+    tx[rng_.next_below(channels_)] = m;
+  }
+  void on_receive(SlotTime t, ChannelId ch, const Message& m) override {
+    received.emplace_back(t, ch, m.origin, m.seq);
+  }
+
+  std::vector<std::tuple<SlotTime, ChannelId, NodeId, std::uint32_t>> received;
+
+ private:
+  NodeId self_;
+  ChannelId channels_;
+  double tx_prob_;
+  Rng rng_;
+  std::uint32_t seq_ = 0;
+};
+
+Graph make_graph(int which, Rng& rng) {
+  switch (which % 4) {
+    case 0:
+      return gen::grid(6, 7);
+    case 1:
+      return gen::gnp_connected(48, 0.12, rng);
+    case 2:
+      return gen::star(20);
+    default:
+      return gen::unit_disk_connected(40, gen::udg_connect_radius(40), rng);
+  }
+}
+
+TEST(EngineInvariants, EveryDeliveryHasExactlyOneSameSlotTransmittingNeighbor) {
+  Rng rng(0x1A7E57);
+  for (int round = 0; round < 8; ++round) {
+    const Graph g = make_graph(round, rng);
+    const ChannelId channels = 1 + round % 2;
+
+    std::deque<Chatter> stations;
+    std::vector<Station*> ptrs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      stations.emplace_back(v, channels, 0.2, rng.split(v));
+      ptrs.push_back(&stations.back());
+    }
+
+    RadioNetwork::Config cfg;
+    cfg.num_channels = channels;
+    RadioNetwork net(g, cfg);
+    EventRecorder rec;
+    net.set_trace(&rec);
+    net.attach(ptrs);
+    net.run(250);
+    ASSERT_FALSE(rec.truncated());
+
+    // Index transmissions by (slot, channel) -> {sender -> (origin, seq)}.
+    std::map<std::pair<SlotTime, ChannelId>,
+             std::map<NodeId, std::pair<NodeId, std::uint32_t>>>
+        tx_at;
+    for (const auto& e : rec.events())
+      if (e.kind == EventRecorder::Kind::kTransmit)
+        tx_at[{e.slot, e.channel}][e.node] = {e.origin, e.seq};
+
+    std::uint64_t deliveries_checked = 0;
+    for (const auto& e : rec.events()) {
+      if (e.kind == EventRecorder::Kind::kDeliver) {
+        const auto& senders = tx_at[{e.slot, e.channel}];
+        std::uint32_t tx_neighbors = 0;
+        bool msg_matches = false;
+        for (const NodeId u : g.neighbors(e.node)) {
+          const auto it = senders.find(u);
+          if (it == senders.end()) continue;
+          ++tx_neighbors;
+          msg_matches = it->second == std::make_pair(e.origin, e.seq);
+        }
+        EXPECT_EQ(tx_neighbors, 1u)
+            << "delivery to " << e.node << " at slot " << e.slot;
+        EXPECT_TRUE(msg_matches)
+            << "delivered message does not match the unique transmitter";
+        ++deliveries_checked;
+      } else if (e.kind == EventRecorder::Kind::kCollision) {
+        // Fault-free: every collision event must be a genuine collision.
+        EXPECT_GE(e.tx_neighbors, 2u);
+        std::uint32_t tx_neighbors = 0;
+        const auto& senders = tx_at[{e.slot, e.channel}];
+        for (const NodeId u : g.neighbors(e.node))
+          tx_neighbors += senders.count(u) != 0 ? 1 : 0;
+        EXPECT_EQ(tx_neighbors, e.tx_neighbors)
+            << "collision fan-in mismatch at node " << e.node;
+      }
+    }
+    EXPECT_GT(deliveries_checked, 0u) << "round " << round << " was vacuous";
+    EXPECT_EQ(deliveries_checked, net.metrics().deliveries);
+
+    // Degree bound: each transmission reaches at most deg(sender) listeners.
+    std::uint64_t degree_budget = 0;
+    for (const auto& e : rec.events())
+      if (e.kind == EventRecorder::Kind::kTransmit)
+        degree_budget += g.degree(e.node);
+    EXPECT_LE(net.metrics().deliveries + net.metrics().collision_events,
+              degree_budget * channels);
+    EXPECT_LE(net.metrics().capture_deliveries, net.metrics().deliveries);
+  }
+}
+
+TEST(EngineInvariants, CrashedStationsNeverTransmitOrReceive) {
+  Rng rng(0xC4A5);
+  for (int round = 0; round < 6; ++round) {
+    const Graph g = make_graph(round, rng);
+
+    std::deque<Chatter> stations;
+    std::vector<Station*> ptrs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      stations.emplace_back(v, 1, 0.3, rng.split(v));
+      ptrs.push_back(&stations.back());
+    }
+
+    FaultPlan plan;
+    plan.crash_rate = 0.08;
+    plan.recover_rate = 0.3;
+    plan.epoch_slots = 8;
+
+    RadioNetwork net(g);
+    FaultSchedule faults(g, plan, 0xFA + round);
+    EventRecorder rec;
+    net.set_faults(&faults);
+    net.set_trace(&rec);
+    net.attach(ptrs);
+
+    // Step manually so the alive view can be snapshotted per slot (the
+    // schedule's Markov chains are advanced inside step(), so after step()
+    // the state is exactly the one slot t was simulated under).
+    const SlotTime kSlots = 400;
+    std::vector<std::vector<std::uint8_t>> alive(kSlots);
+    std::uint64_t crashed_slot_pairs = 0;
+    for (SlotTime t = 0; t < kSlots; ++t) {
+      net.step();
+      alive[t].resize(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        alive[t][v] = faults.node_alive(v) ? 1 : 0;
+        crashed_slot_pairs += alive[t][v] ? 0 : 1;
+      }
+    }
+    ASSERT_FALSE(rec.truncated());
+
+    std::uint64_t events_on_crashed = 0;
+    for (const auto& e : rec.events()) {
+      if (e.kind != EventRecorder::Kind::kTransmit &&
+          e.kind != EventRecorder::Kind::kDeliver &&
+          e.kind != EventRecorder::Kind::kCollision)
+        continue;
+      if (!alive[e.slot][e.node]) ++events_on_crashed;
+    }
+    EXPECT_EQ(events_on_crashed, 0u) << "round " << round;
+    EXPECT_EQ(net.metrics().fault_crashed_slots, crashed_slot_pairs);
+    // The plan must actually have bitten, or the round proves nothing.
+    EXPECT_GT(crashed_slot_pairs, 0u) << "round " << round << " was vacuous";
+
+    // Crash freezes active-set membership; recovery must find the station
+    // runnable again (all-Chatter population: everyone is legacy-active).
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_TRUE(net.station_active(v));
+  }
+}
+
+/// Autosleep station with a scripted behavior: transmits at slots in
+/// `tx_slots`, calls wake() at slots in `wake_slots` (both tested only when
+/// actually polled). Records every poll.
+class Scripted : public Station {
+ public:
+  Scripted(NodeId self, std::set<SlotTime> tx_slots,
+           std::set<SlotTime> wake_slots)
+      : self_(self), tx_slots_(std::move(tx_slots)),
+        wake_slots_(std::move(wake_slots)) {}
+
+  void on_attach(Waker& w) override {
+    waker_ = &w;
+    w.set_autosleep(true);
+  }
+  void on_slot(SlotTime t, std::span<std::optional<Message>> tx) override {
+    polls.push_back(t);
+    if (tx_slots_.count(t) != 0) {
+      Message m;
+      m.origin = self_;
+      m.seq = static_cast<std::uint32_t>(t);
+      tx[0] = m;
+    }
+    if (wake_slots_.count(t) != 0) waker_->wake();
+  }
+  void on_receive(SlotTime, ChannelId, const Message&) override {}
+
+  std::vector<SlotTime> polls;
+
+ private:
+  NodeId self_;
+  std::set<SlotTime> tx_slots_, wake_slots_;
+  Waker* waker_ = nullptr;
+};
+
+TEST(EngineInvariants, ActiveSetMembershipIsIntentOrWakeExactly) {
+  // Randomized scripts on a path graph; the test predicts the poll
+  // schedule of every station with an independent model of the contract:
+  //   polled at 0 (everyone starts active); polled at t+1 iff polled at t
+  //   and (transmitted at t or woke at t), or an external wake arrived
+  //   during slot t.
+  Rng rng(0x5C21);
+  const SlotTime kSlots = 120;
+  for (int round = 0; round < 10; ++round) {
+    const Graph g = gen::path(24);
+    std::deque<Scripted> stations;
+    std::vector<Station*> ptrs;
+    std::vector<std::set<SlotTime>> tx_of(g.num_nodes()), wake_of(
+                                                              g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::set<SlotTime> tx, wake;
+      for (SlotTime t = 0; t < kSlots; ++t) {
+        if (rng.bernoulli(0.25)) tx.insert(t);
+        if (rng.bernoulli(0.15)) wake.insert(t);
+      }
+      tx_of[v] = tx;
+      wake_of[v] = wake;
+      stations.emplace_back(v, tx, wake);
+      ptrs.push_back(&stations.back());
+    }
+    // A few driver-level wakes, exercising wake_station between slots.
+    std::vector<std::pair<SlotTime, NodeId>> driver_wakes;
+    for (int i = 0; i < 6; ++i)
+      driver_wakes.emplace_back(rng.next_below(kSlots),
+                                static_cast<NodeId>(
+                                    rng.next_below(g.num_nodes())));
+    std::sort(driver_wakes.begin(), driver_wakes.end());
+
+    RadioNetwork net(g);
+    net.attach(ptrs);
+
+    // Independent prediction: polled at t iff active at t; retained after
+    // slot t iff it transmitted or self-woke at t; active at t+1 =
+    // retained union driver wakes delivered between t and t+1. (A pending
+    // driver wake is admitted at the next begin_slot, so station_active
+    // right after step(t) reflects `retained`, not yet the wake.)
+    std::vector<std::vector<SlotTime>> expected(g.num_nodes());
+    std::vector<std::vector<std::uint8_t>> retained_at(kSlots);
+    {
+      std::vector<std::uint8_t> active(g.num_nodes(), 1);
+      for (SlotTime t = 0; t < kSlots; ++t) {
+        retained_at[t].assign(g.num_nodes(), 0);
+        std::vector<std::uint8_t> next(g.num_nodes(), 0);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          if (!active[v]) continue;
+          expected[v].push_back(t);
+          if (tx_of[v].count(t) != 0 || wake_of[v].count(t) != 0) {
+            retained_at[t][v] = 1;
+            next[v] = 1;
+          }
+        }
+        for (const auto& [wt, wv] : driver_wakes)
+          if (wt == t) next[wv] = 1;  // arrives between slot t and t+1
+        active = std::move(next);
+      }
+    }
+
+    for (SlotTime t = 0; t < kSlots; ++t) {
+      net.step();
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        EXPECT_EQ(net.station_active(v),
+                  retained_at[t][v] != 0)
+            << "round " << round << " node " << v << " after slot " << t;
+      for (const auto& [wt, wv] : driver_wakes)
+        if (wt == t) net.wake_station(wv);
+    }
+
+    std::uint64_t total_polls = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(stations[v].polls, expected[v])
+          << "round " << round << " node " << v;
+      total_polls += stations[v].polls.size();
+    }
+    EXPECT_EQ(net.engine_stats().station_polls, total_polls);
+    EXPECT_LE(net.engine_stats().peak_active,
+              static_cast<std::uint64_t>(g.num_nodes()));
+    EXPECT_GT(net.engine_stats().peak_active, 0u);
+    // Autosleep everywhere: the engine must actually have slept somebody.
+    EXPECT_LT(total_polls,
+              static_cast<std::uint64_t>(g.num_nodes()) * kSlots);
+  }
+}
+
+TEST(EngineInvariants, EpochStampedCellsNeverLeakAcrossSlots) {
+  // A single transmitter fires exactly once; with epoch-stamped rx cells a
+  // stale-state bug would re-deliver (or re-collide) in later slots. Run
+  // long after the burst and demand total silence.
+  class OneShot : public Station {
+   public:
+    explicit OneShot(NodeId self) : self_(self) {}
+    void on_slot(SlotTime t, std::span<std::optional<Message>> tx) override {
+      if (t == 3 && self_ == 0) {  // only the hub fires
+        Message m;
+        m.origin = self_;
+        m.seq = 77;
+        tx[0] = m;
+      }
+    }
+    void on_receive(SlotTime t, ChannelId, const Message& m) override {
+      deliveries.emplace_back(t, m.seq);
+    }
+    std::vector<std::pair<SlotTime, std::uint32_t>> deliveries;
+
+   private:
+    NodeId self_;
+  };
+
+  const Graph g = gen::star(12);
+  std::deque<OneShot> stations;
+  std::vector<Station*> ptrs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    stations.emplace_back(v);
+    ptrs.push_back(&stations.back());
+  }
+  RadioNetwork net(g);
+  net.attach(ptrs);
+  net.run(500);
+
+  // The hub (node 0) transmitted once at slot 3; every leaf hears exactly
+  // that, leaves' own slot-3 transmissions collide at the hub only.
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(stations[v].deliveries.size(), 1u) << "leaf " << v;
+    EXPECT_EQ(stations[v].deliveries[0],
+              (std::pair<SlotTime, std::uint32_t>{3, 77}));
+  }
+  EXPECT_TRUE(stations[0].deliveries.empty());
+  EXPECT_EQ(net.metrics().slots, 500u);
+}
+
+}  // namespace
+}  // namespace radiomc

@@ -140,6 +140,50 @@ TEST_P(BackoffSweep, DrainsEveryBacklogExactlyOnce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BackoffSweep, ::testing::Range(0, 4));
 
+TEST(Backoff, DisabledFaultPlanIsByteIdenticalToNoPlan) {
+  // Passing an explicit all-zero plan must take the exact historical code
+  // path: the fault seed is drawn only when a plan is enabled, so every
+  // RNG consumer downstream sees an unshifted stream.
+  Rng rng(86);
+  const Graph g = gen::grid(3, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  std::vector<std::uint32_t> backlog(g.num_nodes(), 1);
+  const std::uint64_t seed = rng.next();
+  const BackoffOutcome plain =
+      run_ethernet_backoff(g, tree, backlog, seed);
+  const BackoffOutcome with_disabled_plan =
+      run_ethernet_backoff(g, tree, backlog, seed, 4096, FaultPlan{});
+  ASSERT_TRUE(plain.completed);
+  EXPECT_EQ(plain.delivered_frames, with_disabled_plan.delivered_frames);
+  EXPECT_EQ(plain.rounds_used, with_disabled_plan.rounds_used);
+  EXPECT_EQ(plain.slots, with_disabled_plan.slots);
+  EXPECT_EQ(plain.net.fault_jams, 0u);
+  EXPECT_EQ(plain.net.fault_drops, 0u);
+}
+
+TEST(Backoff, BusAbsorbsJamAndDropNoise) {
+  // §1.3's point survives fault injection: the bus's exact ternary
+  // feedback is built on the reliable §3/§6 channels, so jam/drop noise
+  // slows the emulation down without corrupting it — the MAC still drains
+  // every frame exactly once.
+  Rng rng(87);
+  const Graph g = gen::grid(3, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  std::vector<std::uint32_t> backlog(g.num_nodes(), 1);
+  FaultPlan plan;
+  plan.jam_prob = 0.03;
+  plan.drop_prob = 0.02;
+  const BackoffOutcome out =
+      run_ethernet_backoff(g, tree, backlog, rng.next(), 4096, plan);
+  ASSERT_TRUE(out.completed) << "rounds=" << out.rounds_used;
+  EXPECT_EQ(out.delivered_frames.size(), backlog.size());
+  std::set<std::uint32_t> uniq(out.delivered_frames.begin(),
+                               out.delivered_frames.end());
+  EXPECT_EQ(uniq.size(), backlog.size());
+  // The plan must actually have fired, or this proves nothing.
+  EXPECT_GT(out.net.fault_jams + out.net.fault_drops, 0u);
+}
+
 TEST(Backoff, HeavyContentionStillResolves) {
   // 12 stations, 2 frames each: 24 frames through the bus with collisions
   // driving the exponential backoff.

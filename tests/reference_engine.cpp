@@ -1,0 +1,147 @@
+#include "reference_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/util.h"
+
+namespace radiomc::testing {
+
+ReferenceNetwork::ReferenceNetwork(const Graph& g, Config cfg)
+    : graph_(&g),
+      cfg_(std::move(cfg)),
+      capture_rng_(cfg_.capture_stream ? *cfg_.capture_stream : Rng(0xCA97)) {
+  require(cfg_.num_channels >= 1, "ReferenceNetwork: need >= 1 channel");
+  require(cfg_.capture_prob >= 0.0 && cfg_.capture_prob <= 1.0,
+          "ReferenceNetwork: capture_prob in [0, 1]");
+  const std::size_t cells =
+      static_cast<std::size_t>(g.num_nodes()) * cfg_.num_channels;
+  rx_.resize(cells);
+  actions_.resize(cells);
+}
+
+void ReferenceNetwork::attach(std::vector<Station*> stations) {
+  require(stations.size() == graph_->num_nodes(),
+          "ReferenceNetwork::attach: need exactly one station per node");
+  for (Station* s : stations)
+    require(s != nullptr, "ReferenceNetwork::attach: null station");
+  stations_ = std::move(stations);
+}
+
+void ReferenceNetwork::step() {
+  require(!stations_.empty(), "ReferenceNetwork::step: no stations attached");
+  const NodeId n = graph_->num_nodes();
+  const ChannelId channels = cfg_.num_channels;
+  FaultSchedule* fs =
+      (faults_ != nullptr && faults_->enabled()) ? faults_ : nullptr;
+  if (fs) fs->begin_slot(now_);
+  ++epoch_;
+  tx_list_.clear();
+
+  // Phase 1: collect transmit intents (one optional message per channel).
+  for (NodeId v = 0; v < n; ++v) {
+    auto row = std::span<std::optional<Message>>(
+        actions_.data() + static_cast<std::size_t>(v) * channels, channels);
+    for (auto& a : row) a.reset();
+    if (fs && !fs->node_alive(v)) {
+      ++metrics_.fault_crashed_slots;
+      continue;
+    }
+    stations_[v]->on_slot(now_, row);
+    for (ChannelId c = 0; c < channels; ++c) {
+      if (!row[c]) continue;
+      row[c]->sender = v;  // the radio layer stamps the physical sender
+      tx_list_.emplace_back(v, c);
+      ++metrics_.transmissions;
+      if (trace_) trace_->on_transmit(now_, v, c, *row[c]);
+    }
+  }
+
+  // Phase 2: superpose transmissions at each potential receiver.
+  const bool capture = cfg_.capture_prob > 0.0;
+  for (auto [u, c] : tx_list_) {
+    const Message& m = *actions_[static_cast<std::size_t>(u) * channels + c];
+    const auto nbrs = graph_->neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId v = nbrs[k];
+      if (fs) {
+        if (!fs->node_alive(v)) continue;  // crashed receivers hear nothing
+        if (!fs->link_up(u, k)) {          // down links carry nothing
+          ++metrics_.fault_link_blocked;
+          continue;
+        }
+      }
+      RxSlot& slot = rx_[static_cast<std::size_t>(v) * channels + c];
+      if (slot.epoch != epoch_) {
+        slot.epoch = epoch_;
+        slot.tx_neighbors = 0;
+      }
+      ++slot.tx_neighbors;
+      if (slot.tx_neighbors == 1) {
+        slot.msg = &m;
+      } else if (capture &&
+                 capture_rng_.next_below(slot.tx_neighbors) == 0) {
+        slot.msg = &m;
+      }
+    }
+  }
+
+  // Phase 3: deliver where exactly one neighbor transmitted and the
+  // receiver was listening on that channel.
+  for (NodeId v = 0; v < n; ++v) {
+    if (fs && !fs->node_alive(v)) continue;
+    const std::size_t base = static_cast<std::size_t>(v) * channels;
+    bool transmitted_any = false;
+    if (!cfg_.rx_while_tx_other) {
+      for (ChannelId c = 0; c < channels; ++c)
+        transmitted_any |= actions_[base + c].has_value();
+    }
+    for (ChannelId c = 0; c < channels; ++c) {
+      RxSlot& slot = rx_[base + c];
+      if (slot.epoch != epoch_ || slot.tx_neighbors == 0) continue;
+      const bool listening =
+          !actions_[base + c].has_value() && !transmitted_any;
+      if (!listening) continue;
+      if (slot.tx_neighbors == 1) {
+        if (fs && fs->jammed(now_, v, c)) {
+          ++metrics_.fault_jams;
+          if (trace_) trace_->on_collision(now_, v, c, slot.tx_neighbors);
+          continue;
+        }
+        if (fs && fs->dropped(now_, v, c)) {
+          ++metrics_.fault_drops;
+          continue;
+        }
+        ++metrics_.deliveries;
+        if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
+        stations_[v]->on_receive(now_, c, *slot.msg);
+      } else if (capture && capture_rng_.bernoulli(cfg_.capture_prob)) {
+        if (fs && fs->dropped(now_, v, c)) {
+          ++metrics_.fault_drops;
+          continue;
+        }
+        ++metrics_.deliveries;
+        ++metrics_.capture_deliveries;
+        if (trace_) trace_->on_deliver(now_, v, c, *slot.msg);
+        stations_[v]->on_receive(now_, c, *slot.msg);
+      } else {
+        ++metrics_.collision_events;
+        if (trace_) trace_->on_collision(now_, v, c, slot.tx_neighbors);
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (fs && !fs->node_alive(v)) continue;
+    stations_[v]->on_slot_end(now_);
+  }
+  ++now_;
+  ++metrics_.slots;
+  if (slot_hook_ != nullptr) slot_hook_->on_slot_done(now_);
+}
+
+void ReferenceNetwork::run(SlotTime count) {
+  for (SlotTime i = 0; i < count; ++i) step();
+}
+
+}  // namespace radiomc::testing

@@ -1,0 +1,75 @@
+#pragma once
+
+// The pre-active-set slot engine, frozen verbatim as a reference
+// implementation for the differential test harness (engine_diff_test.cpp).
+//
+// This is the O(n)-per-slot engine that shipped before the active-set
+// rewrite: Phase 1 scans every station and resets every action cell,
+// Phase 2 walks Graph::neighbors per transmitter, Phase 3 scans every
+// (node, channel) cell. It is deliberately NOT updated when the production
+// engine evolves — its whole value is that it still computes the §1.1
+// semantics the slow, obviously-correct way, so any divergence between it
+// and RadioNetwork (deliveries, NetMetrics, traces, capture randomness) is
+// a bug in the rewrite, not in the model.
+//
+// It reuses the production Config / NetMetrics / Station / TraceSink /
+// FaultSchedule types so outputs are directly comparable; stations attached
+// here never receive a Waker (on_attach is not called), exactly like the
+// pre-rewrite engine.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/fault_schedule.h"
+#include "graph/graph.h"
+#include "radio/message.h"
+#include "radio/network.h"
+#include "radio/station.h"
+#include "radio/trace.h"
+#include "support/rng.h"
+
+namespace radiomc::testing {
+
+class ReferenceNetwork {
+ public:
+  using Config = RadioNetwork::Config;
+
+  explicit ReferenceNetwork(const Graph& g) : ReferenceNetwork(g, Config{}) {}
+  ReferenceNetwork(const Graph& g, Config cfg);
+
+  void attach(std::vector<Station*> stations);
+  void step();
+  void run(SlotTime count);
+
+  SlotTime now() const noexcept { return now_; }
+  const Graph& graph() const noexcept { return *graph_; }
+  const NetMetrics& metrics() const noexcept { return metrics_; }
+
+  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+  void set_slot_hook(SlotHook* hook) noexcept { slot_hook_ = hook; }
+  void set_faults(FaultSchedule* faults) noexcept { faults_ = faults; }
+
+ private:
+  const Graph* graph_;
+  Config cfg_;
+  std::vector<Station*> stations_;
+  SlotTime now_ = 0;
+  NetMetrics metrics_;
+  TraceSink* trace_ = nullptr;
+  SlotHook* slot_hook_ = nullptr;
+  FaultSchedule* faults_ = nullptr;
+  Rng capture_rng_;
+
+  struct RxSlot {
+    std::uint64_t epoch = 0;
+    std::uint32_t tx_neighbors = 0;
+    const Message* msg = nullptr;  // valid when tx_neighbors == 1
+  };
+  std::vector<RxSlot> rx_;                      // n * num_channels
+  std::uint64_t epoch_ = 0;
+  std::vector<std::optional<Message>> actions_;  // n * num_channels
+  std::vector<std::pair<NodeId, ChannelId>> tx_list_;  // scratch
+};
+
+}  // namespace radiomc::testing
