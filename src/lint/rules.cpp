@@ -195,7 +195,7 @@ const std::set<std::string_view> kUnorderedTypes = {
 bool in_deterministic_zone(std::string_view path) {
   return in_dir(path, "src/protocols") || in_dir(path, "src/faults") ||
          in_dir(path, "src/radio") || in_dir(path, "src/telemetry") ||
-         in_dir(path, "src/support");
+         in_dir(path, "src/support") || in_dir(path, "src/service");
 }
 
 void rule_unordered_container(const LexedFile& f, std::vector<Finding>* out) {
@@ -245,7 +245,7 @@ void rule_engine_include(const LexedFile& f, std::vector<Finding>* out) {
 void rule_analysis_offline(const LexedFile& f, std::vector<Finding>* out) {
   if (!(in_dir(f.path, "src/protocols") || in_dir(f.path, "src/radio") ||
         in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines") ||
-        in_dir(f.path, "src/telemetry")))
+        in_dir(f.path, "src/telemetry") || in_dir(f.path, "src/service")))
     return;
   for (const IncludeDirective& inc : f.includes) {
     if (!inc.angled && inc.path.starts_with("analysis/")) {
@@ -276,7 +276,8 @@ void rule_perf_purity_include(const LexedFile& f, std::vector<Finding>* out) {
   // .cpp files in src/protocols may include perf/profiler.h to place
   // spans — that is the whole point of the forward-declaration idiom.
   const bool model_header =
-      (in_dir(f.path, "src/protocols") || in_dir(f.path, "src/baselines")) &&
+      (in_dir(f.path, "src/protocols") || in_dir(f.path, "src/baselines") ||
+       in_dir(f.path, "src/service")) &&
       is_header(f.path);
   const bool engine_zone =
       in_dir(f.path, "src/radio") || in_dir(f.path, "src/faults");
@@ -305,7 +306,8 @@ const std::set<std::string_view> kTimingValueIdents = {
 
 void rule_perf_purity_flow(const LexedFile& f, std::vector<Finding>* out) {
   if (!(in_dir(f.path, "src/protocols") || in_dir(f.path, "src/radio") ||
-        in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines")))
+        in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines") ||
+        in_dir(f.path, "src/service")))
     return;
   for (const Token& t : f.tokens) {
     if (t.kind == Token::Kind::kIdent && kTimingValueIdents.count(t.text)) {

@@ -8,13 +8,23 @@
 
 namespace radiomc {
 
-FloodStation::FloodStation(std::uint32_t decay_len, Rng rng)
-    : decay_len_(decay_len), rng_(rng), decay_(decay_len) {}
+FloodStation::FloodStation(std::uint32_t decay_len, Rng rng, bool autosleep)
+    : decay_len_(decay_len),
+      rng_(rng),
+      decay_(decay_len),
+      autosleep_(autosleep) {}
+
+void FloodStation::on_attach(Waker& w) {
+  if (!autosleep_) return;  // legacy contract: permanently active
+  waker_ = &w;
+  w.set_autosleep(true);
+}
 
 void FloodStation::seed(const Message& m) {
   informed_ = true;
   informed_at_ = 0;
   msg_ = m;
+  if (waker_ != nullptr) waker_->wake();
 }
 
 void FloodStation::reset(Rng rng) {
@@ -28,7 +38,12 @@ void FloodStation::reset(Rng rng) {
 }
 
 std::optional<Message> FloodStation::poll(SlotTime t) {
+  // An uninformed poll is a pure no-op, so an uninformed station may sleep
+  // until the front's delivery wakes it. An informed station re-wakes every
+  // poll: the flood restarts a Decay invocation each phase forever, so it
+  // always has a future transmission duty even in its silent slots.
   if (!informed_) return std::nullopt;
+  if (waker_ != nullptr) waker_->wake();
   const std::uint64_t phase = t / decay_len_;
   if (phase != attempt_phase_) {
     attempt_phase_ = phase;
@@ -41,6 +56,7 @@ std::optional<Message> FloodStation::poll(SlotTime t) {
 
 void FloodStation::deliver(SlotTime t, const Message& m) {
   if (informed_) return;
+  if (waker_ != nullptr) waker_->wake();
   informed_ = true;
   informed_at_ = t;
   msg_ = m;
@@ -57,7 +73,7 @@ void FloodStation::tick(SlotTime) {
 
 BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
                              std::uint64_t phases, std::uint64_t seed,
-                             const FaultPlan& faults) {
+                             const FaultPlan& faults, bool autosleep) {
   const NodeId n = g.num_nodes();
   require(source < n, "run_bgi_broadcast: source out of range");
   const std::uint32_t dl = decay_length(g.max_degree());
@@ -66,7 +82,8 @@ BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
   std::vector<std::unique_ptr<FloodStation>> stations;
   stations.reserve(n);
   for (NodeId v = 0; v < n; ++v)
-    stations.push_back(std::make_unique<FloodStation>(dl, master.split(v)));
+    stations.push_back(
+        std::make_unique<FloodStation>(dl, master.split(v), autosleep));
   Message m;
   m.kind = MsgKind::kBcastData;
   m.origin = source;
@@ -89,6 +106,7 @@ BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
 
   BgiOutcome out;
   out.slots = net.now();
+  out.engine_polls = net.engine_stats().station_polls;
   out.informed.resize(n);
   out.informed_at.resize(n);
   for (NodeId v = 0; v < n; ++v) {

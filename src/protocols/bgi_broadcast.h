@@ -26,7 +26,16 @@ namespace radiomc {
 /// Decay invocation each; no acks, no level gating (the flood has no tree).
 class FloodStation final : public SubStation {
  public:
-  FloodStation(std::uint32_t decay_len, Rng rng);
+  /// `autosleep`: opt into active-set descheduling where the station is
+  /// engine-attached directly (SingleStation). Uninformed stations are the
+  /// win — they neither transmit nor mutate on poll, so they sleep until
+  /// the message front's delivery wakes them; informed stations re-wake
+  /// every poll (the flood restarts Decay each phase, so they always have
+  /// a future duty). Byte-identical to always-active either way; only
+  /// EngineStats::station_polls differs. Embedded uses (setup) never
+  /// attach, so the flag is inert there.
+  explicit FloodStation(std::uint32_t decay_len, Rng rng,
+                        bool autosleep = true);
 
   /// Makes this node the (or a) source: informed from the start.
   void seed(const Message& m);
@@ -34,6 +43,7 @@ class FloodStation final : public SubStation {
   /// Clears the flood state and re-seeds the randomness (setup attempts).
   void reset(Rng rng);
 
+  void on_attach(Waker& w) override;
   std::optional<Message> poll(SlotTime t) override;
   void deliver(SlotTime t, const Message& m) override;
   void tick(SlotTime t) override;
@@ -52,6 +62,8 @@ class FloodStation final : public SubStation {
   DecayProcess decay_;
   std::uint64_t attempt_phase_ = static_cast<std::uint64_t>(-1);
   bool just_transmitted_ = false;
+  bool autosleep_ = false;
+  Waker* waker_ = nullptr;  ///< set by on_attach iff autosleep_ is on
 };
 
 /// Standalone driver: floods one message from `source` for `phases` phases;
@@ -61,12 +73,20 @@ struct BgiOutcome {
   std::uint32_t informed_count = 0;
   std::vector<bool> informed;
   std::vector<SlotTime> informed_at;  ///< meaningful where informed
+
+  /// Engine on_slot invocations (EngineStats::station_polls): scheduling
+  /// economy only — the autosleep A/B tests assert it drops while the
+  /// informed sets stay identical.
+  std::uint64_t engine_polls = 0;
 };
 /// `faults`: optional fault plan compiled against the flood network (the
 /// phase budget bounds the run, so no watchdog is needed; under faults the
 /// informed count simply reports the partial coverage).
+/// `autosleep`: forwarded to every FloodStation; kept as a parameter for
+/// the A/B byte-identity tests.
 BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
                              std::uint64_t phases, std::uint64_t seed,
-                             const FaultPlan& faults = {});
+                             const FaultPlan& faults = {},
+                             bool autosleep = true);
 
 }  // namespace radiomc

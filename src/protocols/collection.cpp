@@ -39,7 +39,14 @@ CollectionStation::CollectionStation(NodeId me, CollectionConfig cfg, Rng rng)
       clock_(cfg.slots),
       rng_(rng),
       decay_(cfg.slots.decay_len),
-      dedup_guard_(cfg.dedup_guard) {}
+      dedup_guard_(cfg.dedup_guard),
+      autosleep_(cfg.autosleep) {}
+
+void CollectionStation::on_attach(Waker& w) {
+  if (!autosleep_) return;  // legacy contract: permanently active
+  waker_ = &w;
+  w.set_autosleep(true);
+}
 
 void CollectionStation::set_local(NodeId parent, std::uint32_t level,
                                   bool is_root) {
@@ -47,6 +54,7 @@ void CollectionStation::set_local(NodeId parent, std::uint32_t level,
   level_ = level;
   is_root_ = is_root;
   bound_ = true;
+  if (waker_ != nullptr) waker_->wake();
 }
 
 void CollectionStation::reset(Rng rng) {
@@ -68,6 +76,14 @@ void CollectionStation::reset(Rng rng) {
 
 std::optional<Message> CollectionStation::poll(SlotTime t) {
   if (!bound_) return std::nullopt;
+  // Autosleep duty check: stay scheduled while there is anything left to
+  // send (a buffered message mid-drain or a pending ack), even in slots
+  // where the phase clock or the Decay coin keeps us silent. With neither,
+  // this poll is a pure no-op and the engine may deschedule us until
+  // deliver/inject wakes the station.
+  if (waker_ != nullptr && (ack_to_send_.has_value() ||
+                            (!is_root_ && !buffer_.empty())))
+    waker_->wake();
   const PhaseClock::SlotInfo info = clock_.decode(t);
 
   if (info.is_ack) {
@@ -102,6 +118,10 @@ std::optional<Message> CollectionStation::poll(SlotTime t) {
 
 void CollectionStation::deliver(SlotTime t, const Message& m) {
   if (!bound_) return;
+  // Any reception may create a duty (an ack to emit, a message to relay),
+  // and deliveries reach sleeping stations too — wake unconditionally; the
+  // next poll re-evaluates and lets the engine park us again if not.
+  if (waker_ != nullptr) waker_->wake();
   const PhaseClock::SlotInfo info = clock_.decode(t);
 
   if (info.is_ack) {
@@ -154,6 +174,7 @@ void CollectionStation::tick(SlotTime) {
 
 void CollectionStation::inject(const Message& m) {
   require(m.origin == me_, "CollectionStation::inject: origin must be self");
+  if (waker_ != nullptr) waker_->wake();
   if (is_root_) {
     sink_.push_back({0, m});
     if (root_handler_) root_handler_(0, m);
@@ -265,6 +286,7 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
   out.slots = net.now();
   out.phases = (net.now() + slots_per_phase - 1) / slots_per_phase;
   out.deliveries = root->root_sink();
+  out.engine_polls = net.engine_stats().station_polls;
 
   // An "advance of level i in phase p" = some level-(i-1) node accepted a
   // message from a level-i child during p. Count each (level, phase) once,

@@ -53,6 +53,17 @@ struct CollectionConfig {
   /// Off by default: the main model needs no duplicate state.
   bool dedup_guard = false;
 
+  /// Opt into the active-set engine's autosleep (radio/waker.h): a station
+  /// with an empty buffer and no pending ack is descheduled until a
+  /// reception or an inject wakes it. Protocol output is byte-identical
+  /// either way — an idle CollectionStation poll mutates nothing and
+  /// consumes no randomness (DecayProcess::wants_transmit is const; the
+  /// coin is flipped only after an actual transmission) — proven A/B by
+  /// tests/engine_diff_test.cpp. Only EngineStats::station_polls differs.
+  /// Takes effect only where the station is engine-attached directly (via
+  /// SingleStation); embedded uses (setup, channel mux) stay always-active.
+  bool autosleep = true;
+
   /// Optional observability, used by run_collection: phase spans, per-level
   /// advance counters and queue-depth histograms, engine counters. Not part
   /// of the radio model — the protocol never reads it.
@@ -107,12 +118,15 @@ class CollectionStation final : public SubStation {
   /// randomness; the root handler is kept. Used between setup attempts.
   void reset(Rng rng);
 
+  void on_attach(Waker& w) override;
   std::optional<Message> poll(SlotTime t) override;
   void deliver(SlotTime t, const Message& m) override;
   void tick(SlotTime t) override;
 
   /// Application-level origination: enqueue a message for the root. The
   /// caller provides origin == this node's id and a per-origin-unique seq.
+  /// Wakes the station when autosleep descheduled it (drivers inject
+  /// between slots; Waker::wake is merged before the next poll).
   void inject(const Message& m);
 
   NodeId id() const noexcept { return me_; }
@@ -160,6 +174,8 @@ class CollectionStation final : public SubStation {
   std::vector<std::pair<std::uint64_t, std::uint32_t>> accept_log_;
   bool dedup_guard_ = false;
   std::set<std::uint64_t> seen_;  ///< (origin << 32) | seq, guard mode only
+  bool autosleep_ = false;
+  Waker* waker_ = nullptr;  ///< set by on_attach iff autosleep_ is on
 };
 
 /// Standalone driver: places `initial` messages on their origins' buffers,
@@ -180,6 +196,11 @@ struct CollectionOutcome {
   /// level i-1 (Theorem 4.1's event).
   std::vector<std::uint64_t> occupied_phases;
   std::vector<std::uint64_t> advance_phases;
+
+  /// Engine on_slot invocations (EngineStats::station_polls): scheduling
+  /// economy, not radio physics — the autosleep A/B tests assert it drops
+  /// while everything above stays byte-identical.
+  std::uint64_t engine_polls = 0;
 };
 
 CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,

@@ -22,10 +22,19 @@ DistributionStation::DistributionStation(NodeId me, const BfsTree& tree,
       cfg_(cfg),
       clock_(make_clock(cfg)),
       rng_(rng),
-      decay_(cfg.decay_len) {}
+      decay_(cfg.decay_len) {
+  // The era shares the 32-bit aux field with the hop level (16 bits each).
+  require(!cfg_.epoch_tags || cfg_.window == 0 || tree.depth < 0x10000,
+          "distribution: epoch tags pack the level into 16 bits; depth must "
+          "be < 65536");
+}
 
 std::uint32_t DistributionStation::wire_of(std::uint32_t abs) const noexcept {
   return cfg_.window == 0 ? abs : abs % (4 * cfg_.window);
+}
+
+std::uint32_t DistributionStation::era_of(std::uint32_t abs) const noexcept {
+  return cfg_.window == 0 ? 0 : (abs / (4 * cfg_.window)) & 0xFFFFu;
 }
 
 std::optional<std::uint32_t> DistributionStation::abs_of(
@@ -172,7 +181,10 @@ std::optional<Message> DistributionStation::poll(SlotTime t) {
 
   Message m = *forwarding_;
   m.sender = me_;
-  m.aux = level_;          // receivers check the hop direction
+  // Receivers check the hop direction against the low bits; with epoching
+  // the high bits carry the root era of the *absolute* seq (forwarding_
+  // always stores absolute numbering), stamped before the wire wrap below.
+  m.aux = cfg_.epoch_tags ? (level_ | (era_of(m.seq) << 16)) : level_;
   m.seq = wire_of(m.seq);  // window-bounded wire numbering
   just_transmitted_ = true;
   return m;
@@ -212,10 +224,18 @@ void DistributionStation::note_received(SlotTime t, std::uint32_t abs,
 void DistributionStation::deliver(SlotTime t, const Message& m) {
   if (m.kind != MsgKind::kBcastData) return;
   if (is_root_) return;
-  if (m.aux + 1 != level_) return;  // accept only the level-(i-1) wave
+  // Accept only the level-(i-1) wave. Legacy wire format: aux is the bare
+  // level; epoched: the level lives in the low 16 bits.
+  const std::uint32_t hop = cfg_.epoch_tags ? (m.aux & 0xFFFFu) : m.aux;
+  if (hop + 1 != level_) return;
 
   const std::optional<std::uint32_t> abs = abs_of(m.seq);
   if (!abs) return;
+  // Era check: the decode placed the copy near our frontier; a stale copy
+  // aliasing across a 4W wrap decodes to an index whose era disagrees with
+  // the tag stamped at transmission — drop it instead of delivering a
+  // phantom.
+  if (cfg_.epoch_tags && era_of(*abs) != (m.aux >> 16)) return;
 
   Message stored = m;
   stored.seq = *abs;  // keep absolute numbering internally

@@ -52,6 +52,22 @@ struct DistributionConfig {
   /// collection channel is still climbing; repetition makes repair certain).
   std::uint32_t nack_retry_superphases = 8;
 
+  /// Sequence-number epoching for the windowed wire format. The mod-4W
+  /// decode of abs_of is sound only under the send-window/drain invariant;
+  /// a *stale* copy that outlives it (a crashed node resurrecting with an
+  /// ancient pipeline register) carries a residue that can alias to a
+  /// phantom absolute index within [frontier - 2W, frontier + 2W) and be
+  /// delivered as a message the root never sent. With epoching on, the
+  /// transmitter packs the 16-bit root era (abs / 4W mod 2^16) into the
+  /// aux field's high bits next to the hop level in the low bits; a
+  /// receiver re-derives the era of its decode and drops any copy whose
+  /// tag disagrees — the stale copy's era is the old one, the phantom
+  /// index's era is current, so aliasing across a wrap is detected. Off
+  /// reproduces the legacy wire format bit-for-bit (the regression test
+  /// exhibits the phantom prefix on it). No effect when window == 0 (era
+  /// is identically 0 and aux carries exactly the level).
+  bool epoch_tags = true;
+
   static DistributionConfig for_graph(const Graph& g) {
     DistributionConfig c;
     c.decay_len = decay_length(g.max_degree());
@@ -116,6 +132,9 @@ class DistributionStation final : public SubStation {
   void on_superphase_boundary(std::uint64_t sp);
   std::uint32_t wire_of(std::uint32_t abs) const noexcept;
   std::optional<std::uint32_t> abs_of(std::uint32_t wire) const noexcept;
+  /// 16-bit root era of an absolute sequence number: abs / 4W mod 2^16
+  /// (identically 0 when window == 0).
+  std::uint32_t era_of(std::uint32_t abs) const noexcept;
   void note_received(SlotTime t, std::uint32_t abs, const Message& stored);
 
   NodeId me_;

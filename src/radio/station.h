@@ -67,6 +67,14 @@ class SubStation {
   SubStation(const SubStation&) = delete;
   SubStation& operator=(const SubStation&) = delete;
 
+  /// Engine adoption, forwarded by SingleStation only. The composing
+  /// adapters (ChannelMuxStation, TimeDivisionStation) deliberately do NOT
+  /// forward: their SubStations share one membership bit, so no single
+  /// SubStation can promise the whole node's idleness. A SubStation that
+  /// opts in via `w.set_autosleep(true)` makes the Waker contract's promise
+  /// (radio/waker.h) for itself alone.
+  virtual void on_attach(Waker& /*w*/) {}
+
   /// Transmit decision for the SubStation's slot `t` (nullopt = listen).
   virtual std::optional<Message> poll(SlotTime t) = 0;
   /// Successful reception in the SubStation's slot `t`.
@@ -79,6 +87,7 @@ class SubStation {
 class SingleStation final : public Station {
  public:
   explicit SingleStation(SubStation& sub) : sub_(&sub) {}
+  void on_attach(Waker& w) override { sub_->on_attach(w); }
   void on_slot(SlotTime t, std::span<std::optional<Message>> tx) override {
     tx[0] = sub_->poll(t);
   }

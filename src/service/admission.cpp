@@ -1,0 +1,62 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "queueing/analysis.h"
+
+namespace radiomc::service {
+
+const char* to_string(AdmissionPolicy p) noexcept {
+  switch (p) {
+    case AdmissionPolicy::kOff: return "off";
+    case AdmissionPolicy::kShed: return "shed";
+    case AdmissionPolicy::kDefer: return "defer";
+  }
+  return "?";
+}
+
+AdmissionPolicy admission_policy_from_string(const std::string& s) {
+  if (s == "off") return AdmissionPolicy::kOff;
+  if (s == "shed") return AdmissionPolicy::kShed;
+  if (s == "defer") return AdmissionPolicy::kDefer;
+  throw std::invalid_argument("--admission '" + s +
+                              "' is not a policy: expected off, shed or "
+                              "defer");
+}
+
+void AdmissionConfig::validate() const {
+  if (!(envelope_multiple > 0.0))
+    throw std::invalid_argument(
+        "admission config: envelope multiple must be > 0 (it scales the "
+        "Hsu-Burke per-level queue envelope)");
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& cfg,
+                                         double lambda, double mu)
+    : cfg_(cfg) {
+  cfg_.validate();
+  // Evaluate the Hsu-Burke mean at lambda_eff = min(lambda, 0.9 mu): the
+  // closed form diverges at lambda -> mu, and in overload any finite
+  // envelope is the right answer (shedding is the point).
+  const double lambda_eff = std::min(lambda, 0.9 * mu);
+  const double mean = queueing::mean_queue_length(lambda_eff, mu);
+  envelope_ = cfg_.envelope_multiple * std::max(1.0, mean);
+}
+
+AdmissionController::Decision AdmissionController::decide(
+    std::uint64_t level_depth) noexcept {
+  if (cfg_.policy != AdmissionPolicy::kOff &&
+      static_cast<double>(level_depth) >= envelope_) {
+    if (cfg_.policy == AdmissionPolicy::kShed) {
+      ++shed_;
+      return Decision::kShed;
+    }
+    ++deferred_;
+    return Decision::kDefer;
+  }
+  ++admitted_;
+  return Decision::kAdmit;
+}
+
+}  // namespace radiomc::service

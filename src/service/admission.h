@@ -1,0 +1,76 @@
+#pragma once
+
+// Admission control for the continuous-traffic service mode: compare
+// per-level queue depths against the Hsu–Burke steady-state envelope and
+// shed (drop) or defer (hold and retry) arrivals that would push a level
+// past a configurable multiple of it.
+//
+// The envelope comes from §4.3: a stable level behaves like a Bernoulli
+// server with Bernoulli(lambda) input and stationary mean queue length
+// N = lambda(1-lambda)/(mu-lambda) (queueing/analysis.h). A healthy soak
+// therefore keeps every level's start-of-phase depth within a small
+// multiple of N; sustained excursions beyond it mean the offered load
+// exceeds what Theorem 4.1's advance rate mu can drain — overload or fault
+// churn — and the service sheds instead of letting queues grow without
+// bound. For an offered load at or above mu the closed form diverges, so
+// the envelope is evaluated at lambda_eff = min(lambda, 0.9 mu): in genuine
+// overload *every* finite envelope is eventually exceeded, which is exactly
+// when shedding must kick in.
+
+#include <cstdint>
+#include <string>
+
+namespace radiomc::service {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kOff,    ///< admit everything (open-loop measurement mode)
+  kShed,   ///< drop arrivals beyond the envelope, permanently
+  kDefer,  ///< hold arrivals beyond the envelope; retry each phase
+};
+
+const char* to_string(AdmissionPolicy p) noexcept;
+
+/// `--admission` values: "off", "shed", "defer". Throws
+/// std::invalid_argument naming the bad value otherwise.
+AdmissionPolicy admission_policy_from_string(const std::string& s);
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kOff;
+  /// Queue-depth ceiling as a multiple of the per-level Hsu–Burke mean
+  /// (floored at one message so a tiny mean still admits traffic).
+  double envelope_multiple = 8.0;
+
+  /// Throws std::invalid_argument when the multiple is not positive.
+  void validate() const;
+};
+
+class AdmissionController {
+ public:
+  enum class Decision : std::uint8_t { kAdmit, kDefer, kShed };
+
+  /// `lambda` is the offered load (mean arrivals per phase), `mu` the
+  /// Theorem 4.1 advance rate.
+  AdmissionController(const AdmissionConfig& cfg, double lambda, double mu);
+
+  /// The per-level queued-message ceiling (envelope_multiple x the
+  /// Hsu-Burke mean at lambda_eff, floored at 1 message).
+  double level_envelope() const noexcept { return envelope_; }
+
+  /// Decides one arrival given the current depth of the BFS level it
+  /// lands on, and counts the outcome.
+  Decision decide(std::uint64_t level_depth) noexcept;
+
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  /// Defer *events*: a message held for k phases counts k times.
+  std::uint64_t deferred() const noexcept { return deferred_; }
+  std::uint64_t shed() const noexcept { return shed_; }
+
+ private:
+  AdmissionConfig cfg_;
+  double envelope_ = 0.0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace radiomc::service

@@ -1,0 +1,135 @@
+#include "service/certify.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "queueing/analysis.h"
+#include "telemetry/json_writer.h"
+
+namespace radiomc::service {
+
+void CertifyConfig::validate() const {
+  if (!(throughput_margin > 0.0 && throughput_margin < 1.0))
+    throw std::invalid_argument(
+        "certify config: throughput margin must be in (0, 1) — it is the "
+        "fraction of the offered load the soak may fall short by");
+  if (!(sojourn_multiple > 0.0))
+    throw std::invalid_argument(
+        "certify config: sojourn multiple must be > 0 (it scales the Thm "
+        "4.15 tandem sojourn bound)");
+}
+
+SoakVerdict certify_soak(const ServeOutcome& out, double offered_rate,
+                         double mu, std::uint32_t depth,
+                         const CertifyConfig& cfg) {
+  cfg.validate();
+  SoakVerdict v;
+  v.offered_rate = offered_rate;
+  v.mu = mu;
+  v.depth = depth;
+  v.phases = out.phases;
+  v.slots = out.slots;
+  v.arrivals = out.arrivals;
+  v.admitted = out.admitted;
+  v.deferred = out.deferred;
+  v.shed = out.shed;
+  v.delivered = out.delivered;
+  v.duplicates = out.duplicates;
+  v.degraded = out.status != RunStatus::kOk;
+
+  v.delivered_rate = out.phases > 0
+                         ? static_cast<double>(out.delivered) /
+                               static_cast<double>(out.phases)
+                         : 0.0;
+  v.throughput_floor = (1.0 - cfg.throughput_margin) * offered_rate;
+  v.throughput_ok = v.delivered_rate >= v.throughput_floor;
+
+  v.sojourn_mean = out.sojourn_phases.mean();
+  if (offered_rate < mu) {
+    v.sojourn_bound = cfg.sojourn_multiple * static_cast<double>(depth) *
+                      queueing::mean_wait(offered_rate, mu);
+    v.sojourn_ok =
+        out.sojourn_phases.count() > 0 && v.sojourn_mean <= v.sojourn_bound;
+  } else {
+    // No stationary sojourn exists at or beyond mu; the check cannot pass.
+    v.sojourn_bound = std::numeric_limits<double>::quiet_NaN();
+    v.sojourn_ok = false;
+  }
+
+  v.exactly_once_ok = out.duplicates == 0;
+
+  v.peak_level_depth = out.peak_level_depth;
+  v.queue_bound = 2.0 * out.level_envelope;
+  v.queues_bounded =
+      static_cast<double>(out.peak_level_depth) <= v.queue_bound;
+
+  v.pass =
+      v.throughput_ok && v.sojourn_ok && v.exactly_once_ok && v.queues_bounded;
+  return v;
+}
+
+std::string SoakVerdict::to_json() const {
+  std::string out;
+  telemetry::JsonWriter w(&out);
+  w.begin_object();
+  w.member("schema", "radiomc.soak/v1");
+  w.member("pass", pass);
+  w.member("degraded", degraded);
+
+  w.key("run");
+  w.begin_object();
+  w.member("offered_rate", offered_rate);
+  w.member("mu", mu);
+  w.member("depth", static_cast<std::uint64_t>(depth));
+  w.member("phases", phases);
+  w.member("slots", slots);
+  w.member("arrivals", arrivals);
+  w.member("admitted", admitted);
+  w.member("deferred", deferred);
+  w.member("shed", shed);
+  w.member("delivered", delivered);
+  w.end_object();
+
+  w.key("throughput");
+  w.begin_object();
+  w.member("rate", delivered_rate);
+  w.member("floor", throughput_floor);
+  w.member("ok", throughput_ok);
+  w.end_object();
+
+  w.key("sojourn");
+  w.begin_object();
+  w.member("mean_phases", sojourn_mean);
+  w.member("bound_phases", sojourn_bound);  // null when offered >= mu
+  w.member("ok", sojourn_ok);
+  w.end_object();
+
+  w.key("exactly_once");
+  w.begin_object();
+  w.member("duplicates", duplicates);
+  w.member("ok", exactly_once_ok);
+  w.end_object();
+
+  w.key("queues");
+  w.begin_object();
+  w.member("peak_level_depth", peak_level_depth);
+  w.member("bound", queue_bound);
+  w.member("ok", queues_bounded);
+  w.end_object();
+
+  w.end_object();
+  return out;
+}
+
+bool SoakVerdict::write_json_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string doc = to_json() + "\n";
+  const bool wrote_all = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote_all && closed;
+}
+
+}  // namespace radiomc::service

@@ -1,0 +1,89 @@
+#pragma once
+
+// Soak certification: turn a finished run_service measurement into a
+// machine-checkable verdict against the paper's closed forms.
+//
+// A soak passes iff all four checks hold:
+//
+//  * throughput — delivered rate over the measured window is at least
+//    (1 - margin) x the offered load lambda. An overloaded run
+//    (lambda > mu) cannot pass: the network drains at most mu per phase
+//    (Theorem 4.1), so the delivered rate saturates below the floor.
+//  * sojourn — mean arrival-to-root latency is within a configurable
+//    multiple of the Theorem 4.15 tandem-queue closed form
+//    D x (1 - lambda)/(mu - lambda) phases. Undefined (and failed) when
+//    lambda >= mu, where no stationary sojourn exists.
+//  * exactly-once — zero duplicate root deliveries across the whole run,
+//    warmup included.
+//  * bounded queues — no BFS level's start-of-phase depth ever exceeded
+//    twice the admission controller's Hsu-Burke envelope.
+//
+// The verdict serializes as `radiomc.soak/v1` (schema documented in
+// docs/OBSERVABILITY.md), the soak-mode sibling of the live
+// radiomc.snap/v1 stream.
+
+#include <cstdint>
+#include <string>
+
+#include "service/service.h"
+
+namespace radiomc::service {
+
+struct CertifyConfig {
+  /// Throughput slack: the floor is (1 - margin) x offered lambda.
+  double throughput_margin = 0.10;
+  /// Sojourn ceiling as a multiple of the Thm 4.15 closed form.
+  double sojourn_multiple = 3.0;
+
+  /// Throws std::invalid_argument when margin is outside (0, 1) or the
+  /// sojourn multiple is not positive.
+  void validate() const;
+};
+
+struct SoakVerdict {
+  bool pass = false;
+  bool throughput_ok = false;
+  bool sojourn_ok = false;
+  bool exactly_once_ok = false;
+  bool queues_bounded = false;
+  /// Echo of the run status — informational, not part of `pass` (a
+  /// fault-churn soak is expected to degrade yet may still certify).
+  bool degraded = false;
+
+  // Inputs, echoed for a self-describing document.
+  double offered_rate = 0.0;
+  double mu = 0.0;
+  std::uint32_t depth = 0;
+  std::uint64_t phases = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates = 0;
+
+  // Per-check measurement vs bound.
+  double delivered_rate = 0.0;
+  double throughput_floor = 0.0;
+  double sojourn_mean = 0.0;
+  /// NaN (serialized as null) when lambda >= mu.
+  double sojourn_bound = 0.0;
+  std::uint64_t peak_level_depth = 0;
+  double queue_bound = 0.0;
+
+  /// {"schema":"radiomc.soak/v1",...}; see docs/OBSERVABILITY.md.
+  std::string to_json() const;
+  /// Writes `to_json()` plus a trailing newline; returns false on I/O
+  /// failure.
+  bool write_json_file(const std::string& path) const;
+};
+
+/// Judges a finished measurement. `offered_rate` is the arrival process'
+/// stationary mean (ArrivalSpec::mean_rate), `mu` the Theorem 4.1 advance
+/// rate, `depth` the BFS tree depth D of the Thm 4.15 tandem.
+SoakVerdict certify_soak(const ServeOutcome& out, double offered_rate,
+                         double mu, std::uint32_t depth,
+                         const CertifyConfig& cfg);
+
+}  // namespace radiomc::service

@@ -8,6 +8,7 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "protocols/broadcast_service.h"
+#include "protocols/distribution.h"
 #include "protocols/tree.h"
 #include "support/rng.h"
 
@@ -155,6 +156,86 @@ TEST(Broadcast, NoBroadcastsNoWork) {
   BroadcastService svc(g, tree, BroadcastServiceConfig::for_graph(g), 48);
   EXPECT_TRUE(svc.run_until_delivered(1000));
   EXPECT_EQ(svc.now(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sequence-number epoching: the stale-copy phantom on the legacy wire
+// format, and its rejection with epoch tags on.
+//
+// Setup shared by both tests: a level-1 receiver with W = 4 (wire numbers
+// mod 16) whose frontier has been fed past the first 4W wrap, then a
+// crash-resurrected forwarder replays absolute message 2 — wire seq 2,
+// stamped in era 0. The mod-4W decode places wire 2 at
+// lo + ((2 - lo) mod 16) with lo = 18 - 2W = 10, i.e. exactly the current
+// frontier 18: an ancient payload aliases to the next expected index.
+// ---------------------------------------------------------------------------
+
+struct PhantomRig {
+  Graph g = gen::path(2);
+  BfsTree tree = oracle_bfs_tree(g, 0);
+  DistributionStation rx;
+  std::vector<std::uint64_t> payloads;  ///< in delivery order
+
+  explicit PhantomRig(bool epoch_tags)
+      : rx(1, tree, MakeCfg(epoch_tags), Rng(1)) {
+    rx.set_delivery_handler(
+        [this](SlotTime, const Message& m) { payloads.push_back(m.payload); });
+  }
+
+  static DistributionConfig MakeCfg(bool epoch_tags) {
+    DistributionConfig cfg;
+    cfg.window = 4;
+    cfg.epoch_tags = epoch_tags;
+    return cfg;
+  }
+
+  /// What a level-0 forwarder holding absolute message `abs` puts on the
+  /// wire in era `era` (the legacy format carries the bare level in aux).
+  void Feed(std::uint32_t abs, std::uint32_t era, bool epoched,
+            std::uint64_t payload) {
+    Message m;
+    m.kind = MsgKind::kBcastData;
+    m.origin = 0;
+    m.dest = kAllNodes;
+    m.sender = 0;
+    m.seq = abs % 16;  // wire_of with W = 4
+    m.aux = epoched ? (era << 16) : 0;
+    m.payload = payload;
+    rx.deliver(abs, m);
+  }
+};
+
+TEST(DistributionEpoch, LegacyWireFormatDeliversStalePhantom) {
+  PhantomRig rig(/*epoch_tags=*/false);
+  for (std::uint32_t a = 0; a < 18; ++a) rig.Feed(a, a / 16, false, 1000 + a);
+  ASSERT_EQ(rig.rx.delivered_prefix(), 18u);
+
+  rig.Feed(2, 0, false, 1002);  // the stale replay
+  // The legacy decode has no way to notice: the receiver's prefix advances
+  // with a message the root never sent — message 2's payload at index 18.
+  EXPECT_EQ(rig.rx.delivered_prefix(), 19u);
+  EXPECT_EQ(rig.rx.delivery_log().back().second, 18u);
+  EXPECT_EQ(rig.payloads.back(), 1002u);
+}
+
+TEST(DistributionEpoch, EpochTagRejectsTheStaleCopy) {
+  PhantomRig rig(/*epoch_tags=*/true);
+  for (std::uint32_t a = 0; a < 18; ++a)
+    rig.Feed(a, a / 16, true, 1000 + a);
+  ASSERT_EQ(rig.rx.delivered_prefix(), 18u);
+
+  // The same stale replay carries its true era (0); the decode aliases it
+  // to index 18, whose era is 1 — the tag disagrees and the copy is
+  // dropped instead of delivered.
+  rig.Feed(2, 0, true, 1002);
+  EXPECT_EQ(rig.rx.delivered_prefix(), 18u);
+  EXPECT_EQ(rig.rx.delivery_log().back().second, 17u);
+
+  // A genuine era-1 copy of index 18 still goes through: the guard kills
+  // phantoms, not fresh traffic.
+  rig.Feed(18, 1, true, 1018);
+  EXPECT_EQ(rig.rx.delivered_prefix(), 19u);
+  EXPECT_EQ(rig.payloads.back(), 1018u);
 }
 
 }  // namespace

@@ -39,6 +39,9 @@
 #include "faults/fault_plan.h"
 #include "faults/fault_schedule.h"
 #include "graph/generators.h"
+#include "protocols/bgi_broadcast.h"
+#include "protocols/collection.h"
+#include "protocols/tree.h"
 #include "radio/network.h"
 #include "reference_engine.h"
 #include "support/parallel.h"
@@ -415,6 +418,100 @@ TEST(EngineDiff, MatrixIsJobCountInvariant) {
     EXPECT_TRUE(serial[i].first) << "engine divergence in cell " << i;
     EXPECT_TRUE(serial[i].second == parallel[i].second)
         << "job-count divergence in cell " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-level autosleep A/B: the production protocols that adopted the
+// Waker contract must be byte-identical with autosleep on vs off — the
+// only thing allowed to change is how many polls the engine spends.
+// ---------------------------------------------------------------------------
+
+std::vector<Message> one_data_message_each(const Graph& g) {
+  std::vector<Message> init;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    Message m;
+    m.kind = MsgKind::kData;
+    m.origin = v;
+    m.seq = 0;
+    m.payload = 7000 + v;
+    init.push_back(m);
+  }
+  return init;
+}
+
+TEST(AutosleepAB, CollectionIsByteIdenticalAndPollsLess) {
+  const std::vector<Graph> graphs = {gen::path(24), gen::grid(5, 5),
+                                     gen::star(16)};
+  for (const Graph& g : graphs) {
+    const BfsTree tree = oracle_bfs_tree(g, 0);
+    CollectionConfig on = CollectionConfig::for_graph(g);
+    on.autosleep = true;
+    CollectionConfig off = on;
+    off.autosleep = false;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto a = run_collection(g, tree, one_data_message_each(g), on,
+                                    seed);
+      const auto b = run_collection(g, tree, one_data_message_each(g), off,
+                                    seed);
+      ASSERT_TRUE(a.completed);
+      ASSERT_TRUE(b.completed);
+      EXPECT_EQ(a.slots, b.slots);
+      EXPECT_EQ(a.phases, b.phases);
+      EXPECT_EQ(a.occupied_phases, b.occupied_phases);
+      EXPECT_EQ(a.advance_phases, b.advance_phases);
+      ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+      for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+        EXPECT_EQ(a.deliveries[i].slot, b.deliveries[i].slot);
+        EXPECT_EQ(a.deliveries[i].msg.origin, b.deliveries[i].msg.origin);
+        EXPECT_EQ(a.deliveries[i].msg.seq, b.deliveries[i].msg.seq);
+        EXPECT_EQ(a.deliveries[i].msg.sender, b.deliveries[i].msg.sender);
+      }
+      // Drained stations sleep out the tail of the run.
+      EXPECT_LT(a.engine_polls, b.engine_polls)
+          << "seed " << seed << " n=" << g.num_nodes();
+    }
+  }
+}
+
+TEST(AutosleepAB, CollectionIdenticalUnderFaultsToo) {
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  CollectionConfig on = CollectionConfig::for_graph(g);
+  on.dedup_guard = true;
+  on.faults.crash_rate = 0.02;
+  on.faults.recover_rate = 0.3;
+  on.faults.drop_prob = 0.02;
+  on.faults.epoch_slots = 256;
+  CollectionConfig off = on;
+  off.autosleep = false;
+  const auto a =
+      run_collection(g, tree, one_data_message_each(g), on, 9, 400'000);
+  const auto b =
+      run_collection(g, tree, one_data_message_each(g), off, 9, 400'000);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.slots, b.slots);
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_EQ(a.deliveries[i].slot, b.deliveries[i].slot);
+    EXPECT_EQ(a.deliveries[i].msg.origin, b.deliveries[i].msg.origin);
+  }
+}
+
+TEST(AutosleepAB, FloodIsByteIdenticalAndPollsLess) {
+  // The flood's win is the uninformed frontier: on a long path most
+  // stations sleep until the wave reaches them.
+  const Graph g = gen::path(64);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const BgiOutcome a =
+        run_bgi_broadcast(g, 0, /*phases=*/400, seed, {}, /*autosleep=*/true);
+    const BgiOutcome b =
+        run_bgi_broadcast(g, 0, 400, seed, {}, /*autosleep=*/false);
+    EXPECT_EQ(a.slots, b.slots);
+    EXPECT_EQ(a.informed_count, b.informed_count);
+    EXPECT_EQ(a.informed, b.informed);
+    EXPECT_EQ(a.informed_at, b.informed_at);
+    EXPECT_LT(a.engine_polls, b.engine_polls) << "seed " << seed;
   }
 }
 

@@ -142,6 +142,22 @@ TEST(LintDeterminism, FlagsUnorderedContainersInDeterministicZones) {
     EXPECT_EQ(f.file, "src/faults/bad.cpp") << f.rule;
 }
 
+TEST(LintDeterminism, ServiceZoneIsDeterministicAndPerfPure) {
+  // src/service drives soak certification: byte-identity across --jobs is
+  // part of its contract, so it sits in every zone the protocol layer does.
+  const auto findings = Lint(
+      {{"src/service/bad.cpp", "#include <unordered_map>\n"
+                               "std::unordered_map<int, int> m;\n"},
+       {"src/service/bad.h", "#include \"perf/profiler.h\"\n"},
+       {"src/service/flow.cpp", "long f(Stopwatch& w) { return 0; }\n"},
+       {"src/service/offline.cpp",
+        "#include \"analysis/trace_event.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "unordered-container"), 1u);
+  EXPECT_EQ(CountRule(findings, "perf-purity-include"), 1u);
+  EXPECT_EQ(CountRule(findings, "perf-purity-flow"), 1u);
+  EXPECT_EQ(CountRule(findings, "analysis-offline"), 1u);
+}
+
 TEST(LintDeterminism, WaiverSuppressesUnorderedContainer) {
   const auto findings = Lint(
       {{"src/protocols/waived.cpp",

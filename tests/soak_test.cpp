@@ -7,8 +7,13 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "protocols/broadcast_service.h"
+#include "protocols/collection.h"
 #include "protocols/steady_state.h"
 #include "protocols/tree.h"
+#include "queueing/analysis.h"
+#include "radio/schedule.h"
+#include "service/certify.h"
+#include "service/service.h"
 #include "support/rng.h"
 
 namespace radiomc {
@@ -68,6 +73,31 @@ TEST(Soak, OpenSystemHighLoadStaysStable) {
   EXPECT_GT(out.delivered, 5'000u);
   // Population stays bounded (far below the total injected).
   EXPECT_LT(out.population.mean(), 50.0);
+}
+
+TEST(Soak, ServeMillionSlotCertifiedSoak) {
+  // The E17 smoke at test scale: a full-length service soak (>= 10^6
+  // engine slots) at half the Theorem 4.1 advance rate must certify clean
+  // — sustained throughput, bounded sojourn, exactly-once, bounded queues.
+  const Graph g = gen::grid(5, 5);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const double mu = queueing::mu_decay();
+  const std::uint64_t spp =
+      PhaseClock(CollectionConfig::for_graph(g).slots).slots_per_phase();
+
+  service::ServeConfig cfg;
+  cfg.arrival.kind = service::ArrivalKind::kBernoulli;
+  cfg.arrival.rate = 0.5 * mu;
+  cfg.warmup_phases = 2'000;
+  cfg.phases = 1'000'000 / spp + 1;
+  const service::ServeOutcome out = service::run_service(g, tree, cfg, 0xE17);
+  EXPECT_GE(out.slots, 1'000'000u);
+  EXPECT_EQ(out.duplicates, 0u);
+  EXPECT_EQ(out.status, RunStatus::kOk);
+
+  const service::SoakVerdict v = service::certify_soak(
+      out, cfg.arrival.mean_rate(), mu, tree.depth, service::CertifyConfig{});
+  EXPECT_TRUE(v.pass) << v.to_json();
 }
 
 }  // namespace

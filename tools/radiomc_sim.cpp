@@ -7,6 +7,8 @@
 //   radiomc_sim ranking   --topology path:32
 //   radiomc_sim ethernet  --topology grid:4x5 --frames 2
 //   radiomc_sim flood     --topology tree:63:2 [--source V]
+//   radiomc_sim serve     --topology grid:6x6 --arrival poisson:0.1
+//                         [--admission shed] [--certify --slots 10000000]
 //   radiomc_sim topo      --topology <spec>          (print graph stats)
 //
 // Every command prints a compact human-readable report; exit code 0 iff
@@ -71,6 +73,8 @@
 #include "protocols/ranking.h"
 #include "protocols/setup.h"
 #include "protocols/tree.h"
+#include "service/certify.h"
+#include "service/service.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/util.h"
@@ -158,6 +162,13 @@ int usage() {
       "commands:\n"
       "  topo       print graph statistics   [--dot [--tree]] [--edges]\n"
       "  steady     open-system collection   [--lambda F] [--phases P]\n"
+      "  serve      continuous-traffic service (open-loop soak driver)\n"
+      "             [--arrival bernoulli:R|poisson:R|mmpp:R0:R1:PON:POFF]\n"
+      "             [--phases P | --slots N] [--warmup P] [--uniform]\n"
+      "             [--admission off|shed|defer [--envelope M]]\n"
+      "             [--no-dedup] [--no-autosleep]\n"
+      "             [--certify [--certify-margin F] [--certify-sojourn M]\n"
+      "              [--soak-out FILE]]   (radiomc.soak/v1 verdict)\n"
       "  setup      run the full §2 setup phase      [--anon BITS] "
       "[--attempts N]\n"
       "  flood      BGI single-source broadcast      [--source V]\n"
@@ -718,6 +729,124 @@ TrialOut broadcast_core(const Args& a, std::uint64_t seed,
 
 int cmd_broadcast(const Args& a) { return run_cmd(a, broadcast_core); }
 
+TrialOut serve_core(const Args& a, std::uint64_t seed,
+                    telemetry::Telemetry* tel, telemetry::JsonlTraceSink*,
+                    perf::Profiler* prof, SlotHook* hook) {
+  namespace svc = radiomc::service;
+  const svc::AdmissionPolicy policy =
+      svc::admission_policy_from_string(a.get("admission", "off"));
+  svc::validate_serve_flags(
+      a.has("certify"), a.has("slots") || a.has("phases"),
+      a.has("slots") && a.has("phases"), a.has("soak-out"),
+      a.has("certify-margin"), a.has("certify-sojourn"), a.has("envelope"),
+      policy != svc::AdmissionPolicy::kOff);
+
+  World w = make_world(a, seed, true, tel, nullptr, nullptr, prof);
+  Rng rng(seed ^ 0xB6);
+
+  svc::ServeConfig cfg;
+  cfg.arrival = svc::ArrivalSpec::parse(a.get("arrival", "bernoulli:0.1"));
+  cfg.admission.policy = policy;
+  cfg.admission.envelope_multiple = a.get_f64("envelope", 8.0);
+  // Horizon: --phases directly, or --slots converted up to whole collection
+  // phases (the engine runs warmup + measured phases of slots each).
+  const std::uint64_t spp =
+      PhaseClock(CollectionConfig::for_graph(w.g).slots).slots_per_phase();
+  cfg.phases = a.has("slots")
+                   ? (a.get_u64("slots", 0) + spp - 1) / spp
+                   : a.get_u64("phases", 20'000);
+  cfg.warmup_phases = a.get_u64("warmup", 2'000);
+  if (a.has("uniform")) cfg.placement = ArrivalPlacement::kUniform;
+  cfg.dedup_guard = !a.has("no-dedup");
+  cfg.autosleep = !a.has("no-autosleep");
+  cfg.faults = faults_from_args(a);
+  cfg.telemetry = tel;
+  cfg.profiler = prof;
+  cfg.slot_hook = hook;
+
+  const auto out = svc::run_service(w.g, w.setup.tree, cfg, rng.next());
+
+  const double mu = queueing::mu_decay();
+  const double lambda = cfg.arrival.mean_rate();
+  TrialOut r;
+  r.report = strf(
+      "serve on %s: %s (%.0f%% of mu), %llu+%llu phases (%llu slots)\n",
+      a.get("topology", "").c_str(), cfg.arrival.describe().c_str(),
+      100.0 * lambda / mu, static_cast<unsigned long long>(cfg.phases),
+      static_cast<unsigned long long>(cfg.warmup_phases),
+      static_cast<unsigned long long>(out.slots));
+  r.report += strf("  arrivals/admitted/delivered = %llu / %llu / %llu\n",
+                   static_cast<unsigned long long>(out.arrivals),
+                   static_cast<unsigned long long>(out.admitted),
+                   static_cast<unsigned long long>(out.delivered));
+  r.report += strf(
+      "  admission %s: shed=%llu deferred=%llu (envelope %.2f msgs/level)\n",
+      svc::to_string(cfg.admission.policy),
+      static_cast<unsigned long long>(out.shed),
+      static_cast<unsigned long long>(out.deferred), out.level_envelope);
+  r.report += strf(
+      "  mean population / sojourn   = %.3f msgs / %.3f phases\n",
+      out.population.mean(), out.sojourn_phases.mean());
+  r.report += strf(
+      "  peak level depth = %llu; backlog = %llu net + %llu deferred\n",
+      static_cast<unsigned long long>(out.peak_level_depth),
+      static_cast<unsigned long long>(out.backlog),
+      static_cast<unsigned long long>(out.defer_backlog));
+  r.report += fault_report_line(cfg.faults);
+  if (cfg.faults.any() || out.status != RunStatus::kOk)
+    r.report += strf("  status: %s\n", to_string(out.status));
+
+  if (tel != nullptr) {
+    tel->timeline.record(
+        "serve", "phases", 0, cfg.warmup_phases + cfg.phases,
+        {{"arrivals", static_cast<std::int64_t>(out.arrivals)},
+         {"delivered", static_cast<std::int64_t>(out.delivered)},
+         {"shed", static_cast<std::int64_t>(out.shed)}});
+    tel->metrics.gauge("service.mean_population", {{"protocol", "serve"}})
+        .set(out.population.mean());
+    tel->metrics.gauge("service.mean_sojourn_phases", {{"protocol", "serve"}})
+        .set(out.sojourn_phases.mean());
+  }
+
+  // The structured-outcome convention shared by every command: exit 0 = ok,
+  // 1 = degraded (shed/deferred traffic, a duplicate, or a queue excursion).
+  r.rc = out.status == RunStatus::kOk ? 0 : 1;
+  if (!a.has("certify")) return r;
+  svc::CertifyConfig ccfg;
+  ccfg.throughput_margin = a.get_f64("certify-margin", 0.10);
+  ccfg.sojourn_multiple = a.get_f64("certify-sojourn", 3.0);
+  const svc::SoakVerdict v =
+      svc::certify_soak(out, lambda, mu, w.setup.tree.depth, ccfg);
+  r.report += strf(
+      "  certify: %s (throughput %s %.4f vs floor %.4f; sojourn %s %.2f vs "
+      "bound %.2f; exactly-once %s; queues %s)\n",
+      v.pass ? "PASS" : "FAIL", v.throughput_ok ? "ok" : "FAIL",
+      v.delivered_rate, v.throughput_floor, v.sojourn_ok ? "ok" : "FAIL",
+      v.sojourn_mean, v.sojourn_bound, v.exactly_once_ok ? "ok" : "FAIL",
+      v.queues_bounded ? "ok" : "FAIL");
+  const std::string soak_path = a.get("soak-out", "");
+  if (!soak_path.empty()) {
+    require(v.write_json_file(soak_path),
+            "cannot write --soak-out file " + soak_path);
+    r.report += strf("  soak verdict: %s\n", soak_path.c_str());
+  }
+  r.rc = v.pass ? 0 : 1;
+  return r;
+}
+
+int cmd_serve(const Args& a) {
+  // A soak-scale physical-event trace is unbounded; the live observability
+  // channel for serve is --snapshot-out. Reject rather than silently emit
+  // a bottomless file (the --trace-agg hard-error convention).
+  require(!a.has("trace-out"),
+          "--trace-out is not supported by the serve command: a soak-scale "
+          "event trace is unbounded; use --snapshot-out/--snapshot-every");
+  require(!(a.has("soak-out") && a.get_u64("trials", 1) > 1),
+          "--soak-out is incompatible with --trials: one verdict file "
+          "cannot hold independent soaks");
+  return run_cmd(a, serve_core);
+}
+
 int cmd_ranking(const Args& a) {
   Obs obs = Obs::from_args(a);
   World w = make_world(a, a.get_u64("seed", 1), true, &obs.tel, nullptr,
@@ -785,6 +914,7 @@ int main(int argc, char** argv) {
     if (a.command == "ranking") return cmd_ranking(a);
     if (a.command == "ethernet") return cmd_ethernet(a);
     if (a.command == "steady") return cmd_steady(a);
+    if (a.command == "serve") return cmd_serve(a);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
