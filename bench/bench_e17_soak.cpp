@@ -16,11 +16,13 @@
 // Cells shard across --jobs threads; seeds are drawn serially in loop
 // order so every cell is job-count independent.
 
+#include <sstream>
 #include <vector>
 
 #include "common.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
+#include "health/monitor.h"
 #include "protocols/tree.h"
 #include "queueing/analysis.h"
 #include "service/certify.h"
@@ -95,35 +97,63 @@ int main(int argc, char** argv) {
   }
   for (Cell& c : cells) c.seed = rng.next();
 
+  // Every cell also runs under the online health monitor (src/health/):
+  // the default SLO battery over 256-phase windows. A stable cell must
+  // stay alert-free for the whole soak; the overloaded cell must trip —
+  // the alert engine is judged against the certification verdict it is
+  // meant to predict.
+  struct CellOutcome {
+    svc::SoakVerdict v;
+    std::uint64_t trips = 0;
+    std::uint64_t active = 0;
+  };
   const auto outs = run_indexed(cells.size(), opt.jobs, [&](std::uint64_t i) {
-    const Cell& c = cells[i];
+    Cell& c = cells[i];
     const BfsTree tree = oracle_bfs_tree(c.g, 0);
+    health::HealthConfig hcfg;
+    hcfg.window_phases = 256;
+    hcfg.offered_rate = c.cfg.arrival.mean_rate();
+    hcfg.depth = tree.depth;
+    hcfg.warmup_phases = c.cfg.warmup_phases;
+    std::ostringstream sink;
+    health::Monitor mon(c.g.num_nodes(), tree.level, hcfg, sink);
+    c.cfg.health = &mon;
     const svc::ServeOutcome out = svc::run_service(c.g, tree, c.cfg, c.seed);
-    return svc::certify_soak(out, c.cfg.arrival.mean_rate(), mu, tree.depth,
+    mon.finish();
+    CellOutcome co;
+    co.v = svc::certify_soak(out, c.cfg.arrival.mean_rate(), mu, tree.depth,
                              svc::CertifyConfig{});
+    co.trips = mon.trips();
+    co.active = mon.active();
+    return co;
   });
 
   JsonEmitter json("E17",
                    "service soaks: stable certifies, overload sheds "
                    "bounded, churn stays exactly-once");
   Table t({"cell", "lambda", "delivered/ph", "sojourn(ph)", "peak depth",
-           "verdict", "as expected"});
+           "trips", "active", "verdict", "as expected"});
   bool ok = true;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    const svc::SoakVerdict& v = outs[i];
+    const svc::SoakVerdict& v = outs[i].v;
     bool cell_ok = false;
     const char* expect_name = "";
     switch (c.expect) {
       case Expect::kCertifies:
+        // A certifying cell must also be alert-free: the online monitor
+        // and the offline certification must agree on health.
         expect_name = "certifies";
-        cell_ok = v.pass;
+        cell_ok = v.pass && outs[i].trips == 0;
         break;
       case Expect::kOverloadBounded:
+        // ... and an overloaded cell must have tripped at least one rule
+        // online before the offline verdict said FAIL.
         expect_name = "fails, bounded";
         cell_ok = !v.pass && v.shed > 0 &&
                   static_cast<double>(v.peak_level_depth) <=
-                      v.queue_bound + 1.0;
+                      v.queue_bound + 1.0 &&
+                  outs[i].trips > 0;
         break;
       case Expect::kChurnExactlyOnce:
         expect_name = "exactly-once";
@@ -133,6 +163,8 @@ int main(int argc, char** argv) {
     ok = ok && cell_ok;
     t.row({c.name, num(v.offered_rate, 3), num(v.delivered_rate, 3),
            num(v.sojourn_mean, 2), num(static_cast<double>(v.peak_level_depth), 0),
+           num(static_cast<double>(outs[i].trips), 0),
+           num(static_cast<double>(outs[i].active), 0),
            v.pass ? "PASS" : "fail", cell_ok ? "yes" : "NO"});
     json.row({{"cell", c.name},
               {"expect", expect_name},
@@ -144,6 +176,8 @@ int main(int argc, char** argv) {
               {"queue_bound", v.queue_bound},
               {"shed", static_cast<double>(v.shed)},
               {"duplicates", static_cast<double>(v.duplicates)},
+              {"alert_trips", static_cast<double>(outs[i].trips)},
+              {"alerts_active", static_cast<double>(outs[i].active)},
               {"certified", v.pass},
               {"as_expected", cell_ok}});
   }

@@ -1,0 +1,147 @@
+#pragma once
+
+// Declarative SLO alert rules with trip/clear hysteresis.
+//
+// A rule set is parsed from a compact `--alert-rules` spec — comma-
+// separated `name[:param[:param[:param]]]` clauses, or the single word
+// `default` for the full battery at theory-derived thresholds — and
+// evaluated once per rolling window against the flight recorder's deltas
+// plus the service's queue/sojourn sample. Every rule keeps a latched
+// state: it *trips* when the window crosses the trip threshold and only
+// *clears* once a later window crosses the (stricter) clear threshold, so
+// a metric oscillating around one line does not chatter.
+//
+// The six families and their defaults (see docs/OBSERVABILITY.md):
+//
+//   throughput[:trip[:clear]]   cumulative post-warmup delivered/phase
+//                               below trip*lambda trips (0.90, the certify
+//                               margin); clears at >= clear*lambda (0.95).
+//                               Both thresholds carry a 3-sigma Poisson
+//                               slack that shrinks as 1/sqrt(horizon):
+//                               per-window arrivals are Binomial(W,lambda)
+//                               and would chatter on sampling noise alone,
+//                               while a real deficit grows linearly and
+//                               outruns the slack.
+//   sojourn[:trip[:clear]]      window mean sojourn > trip * the Thm 4.15
+//                               envelope D*(1-l)/(mu-l) trips (3.0, the
+//                               certify multiple); clears at <= 2.5x.
+//                               Idle when lambda >= mu (no finite bound).
+//   qgrowth[:trip[:clear]]      in-system growth per phase >= trip*lambda
+//                               trips (0.5); clears below clear*lambda
+//                               (0.25). The online divergence detector.
+//   stall[:windows]             `windows` consecutive zero-delivery
+//                               windows while messages are in flight
+//                               trips (2); any delivering window clears.
+//   hotspot[:share[:clear[:min]]]  one BFS level holding >= share of the
+//                               window's genuine collisions (0.5), with
+//                               at least `min` collisions (16), trips;
+//                               clears below `clear` share (0.25).
+//   neighbor[:dom[:clear[:min]]]   per-neighbor outliers on nodes with
+//                               >= `min` window receptions (8): a single
+//                               sender >= `dom` of them (0.9, chattering)
+//                               or a historical sender at zero in a window
+//                               where its historical traffic share says it
+//                               owed >= `min` receptions (silent — the
+//                               share gate keeps a low-rate peer's quiet
+//                               window from reading as an outage). Clears
+//                               when no silent pair remains and dominance
+//                               < `clear` (0.75).
+//
+// Parsing throws std::invalid_argument with a specific message (same
+// contract as ArrivalSpec::parse); evaluation is a pure function of its
+// inputs, so the resulting alert stream is deterministic.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "health/recorder.h"
+
+namespace radiomc::health {
+
+enum class RuleKind : std::uint8_t {
+  kThroughput,
+  kSojourn,
+  kQueueGrowth,
+  kStall,
+  kHotspot,
+  kNeighbor,
+};
+
+/// Stable spec/JSONL name of a rule family.
+std::string_view rule_name(RuleKind k) noexcept;
+
+struct Rule {
+  RuleKind kind;
+  double trip = 0.0;
+  double clear = 0.0;
+  std::uint64_t min_count = 0;  ///< stall windows / hotspot min / neighbor min
+};
+
+struct RuleSet {
+  std::vector<Rule> rules;
+
+  /// Normalized spec string (echoed into the schema line so a stream is
+  /// self-describing).
+  std::string canonical() const;
+
+  /// Parses a spec; throws std::invalid_argument on malformed input.
+  static RuleSet parse(std::string_view spec);
+};
+
+/// One window's aggregate facts, assembled by the Monitor.
+struct WindowStats {
+  std::uint64_t window = 0;     ///< 0-based window index
+  std::uint64_t phase_end = 0;  ///< last completed phase in the window
+  std::uint64_t phases = 0;     ///< window length in phases
+  double offered_rate = 0.0;    ///< lambda (config, messages/phase)
+  double envelope_phases = 0.0; ///< Thm 4.15 D*mean_wait; NaN if lambda>=mu
+  std::uint64_t arrivals = 0;   ///< window delta
+  std::uint64_t delivered = 0;  ///< window delta
+  double mean_sojourn = 0.0;    ///< window mean, NaN if delivered == 0
+  std::uint64_t in_system_begin = 0;
+  std::uint64_t in_system_end = 0;
+  /// Cumulative horizon since rules became eligible (first post-warmup
+  /// window), for the long-horizon throughput floor.
+  std::uint64_t eval_phases = 0;
+  std::uint64_t eval_delivered = 0;
+};
+
+/// One alert state transition.
+struct Transition {
+  RuleKind rule;
+  bool trip = false;      ///< true = trip, false = clear
+  double value = 0.0;     ///< the measured quantity
+  double threshold = 0.0; ///< the crossed threshold
+  std::string detail;     ///< e.g. "level=2" or "node=5 peer=7"; may be ""
+};
+
+/// Latched per-rule evaluation. Feed every window in order.
+class RuleEngine {
+ public:
+  explicit RuleEngine(RuleSet rules);
+
+  /// Evaluates one window; returns the transitions it caused (in rule
+  /// declaration order, deterministic).
+  std::vector<Transition> evaluate(const WindowStats& w,
+                                   const FlightRecorder& rec);
+
+  std::uint64_t trips() const noexcept { return trips_; }
+  std::uint64_t clears() const noexcept { return clears_; }
+  /// Rules currently in the tripped state.
+  std::uint64_t active() const noexcept;
+  const RuleSet& rules() const noexcept { return rules_; }
+
+ private:
+  struct State {
+    bool tripped = false;
+    std::uint64_t consecutive = 0;  ///< stall: zero-delivery window streak
+  };
+  RuleSet rules_;
+  std::vector<State> state_;
+  std::uint64_t trips_ = 0;
+  std::uint64_t clears_ = 0;
+};
+
+}  // namespace radiomc::health

@@ -195,7 +195,8 @@ const std::set<std::string_view> kUnorderedTypes = {
 bool in_deterministic_zone(std::string_view path) {
   return in_dir(path, "src/protocols") || in_dir(path, "src/faults") ||
          in_dir(path, "src/radio") || in_dir(path, "src/telemetry") ||
-         in_dir(path, "src/support") || in_dir(path, "src/service");
+         in_dir(path, "src/support") || in_dir(path, "src/service") ||
+         in_dir(path, "src/health");
 }
 
 void rule_unordered_container(const LexedFile& f, std::vector<Finding>* out) {
@@ -245,7 +246,8 @@ void rule_engine_include(const LexedFile& f, std::vector<Finding>* out) {
 void rule_analysis_offline(const LexedFile& f, std::vector<Finding>* out) {
   if (!(in_dir(f.path, "src/protocols") || in_dir(f.path, "src/radio") ||
         in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines") ||
-        in_dir(f.path, "src/telemetry") || in_dir(f.path, "src/service")))
+        in_dir(f.path, "src/telemetry") || in_dir(f.path, "src/service") ||
+        in_dir(f.path, "src/health")))
     return;
   for (const IncludeDirective& inc : f.includes) {
     if (!inc.angled && inc.path.starts_with("analysis/")) {
@@ -277,7 +279,7 @@ void rule_perf_purity_include(const LexedFile& f, std::vector<Finding>* out) {
   // spans — that is the whole point of the forward-declaration idiom.
   const bool model_header =
       (in_dir(f.path, "src/protocols") || in_dir(f.path, "src/baselines") ||
-       in_dir(f.path, "src/service")) &&
+       in_dir(f.path, "src/service") || in_dir(f.path, "src/health")) &&
       is_header(f.path);
   const bool engine_zone =
       in_dir(f.path, "src/radio") || in_dir(f.path, "src/faults");
@@ -307,7 +309,7 @@ const std::set<std::string_view> kTimingValueIdents = {
 void rule_perf_purity_flow(const LexedFile& f, std::vector<Finding>* out) {
   if (!(in_dir(f.path, "src/protocols") || in_dir(f.path, "src/radio") ||
         in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines") ||
-        in_dir(f.path, "src/service")))
+        in_dir(f.path, "src/service") || in_dir(f.path, "src/health")))
     return;
   for (const Token& t : f.tokens) {
     if (t.kind == Token::Kind::kIdent && kTimingValueIdents.count(t.text)) {
@@ -637,7 +639,8 @@ const std::vector<RuleInfo> kCatalog = {
     {"no-wall-clock", "determinism",
      "time() / system_clock reads in simulation code"},
     {"unordered-container", "determinism",
-     "unordered_{map,set} in protocols/faults/radio/telemetry/support"},
+     "unordered_{map,set} in protocols/faults/radio/telemetry/support/"
+     "service/health"},
     {"engine-include", "model-purity",
      "protocol headers reaching past radio/station.h + schedule.h"},
     {"analysis-offline", "model-purity",

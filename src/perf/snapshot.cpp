@@ -47,9 +47,16 @@ void SnapshotStreamer::write_header() {
 }
 
 void SnapshotStreamer::on_slot_done(SlotTime t) {
-  if (finished_ || !ok() || every_ == 0) return;
+  if (finished_ || every_ == 0) return;
   seen_slot_ = t;
   if (t % every_ != 0) return;
+  if (!ok()) {
+    // A cadence point the stream could not record: count it so the footer
+    // (and telemetry) can report the stream as dirty instead of letting a
+    // shorter-but-well-formed file masquerade as a complete run.
+    ++dropped_;
+    return;
+  }
 
   std::string buf;
   telemetry::JsonWriter w(&buf);
@@ -96,6 +103,8 @@ void SnapshotStreamer::finish() {
   w.member("ev", "end");
   w.member("slot", static_cast<std::uint64_t>(seen_slot_));
   w.member("snapshots", snapshots_);
+  w.member("clean", dropped_ == 0);
+  if (dropped_ > 0) w.member("dropped", dropped_);
   w.end_object();
   *out_ << buf << '\n';
   out_->flush();

@@ -12,7 +12,14 @@
 //   {"ev":"snap","slot":t,"metrics":{...}}                 every N slots
 //   {"ev":"snap","slot":t,"metrics":{...},
 //    "perf":{"wall_ms":..,"interval_slots_per_sec":..}}    with profiler
-//   {"ev":"end","slot":t,"snapshots":k}                    from finish()
+//   {"ev":"end","slot":t,"snapshots":k,"clean":true}       from finish()
+//
+// The "end" line is the stream's footer (the same discipline as the trace
+// recorder's in-band kTruncated sentinel): its presence distinguishes a
+// clean shutdown from a truncated stream, and `"clean":false` plus a
+// `"dropped"` count records snapshot lines that could not be written
+// because the stream had gone bad mid-run. `radiomc_monitor check` treats
+// a missing footer as truncation.
 //
 // The "metrics" member is MetricsRegistry::write_json verbatim — a pure
 // function of the run seed — so a stream written without a profiler is
@@ -65,6 +72,9 @@ class SnapshotStreamer final : public SlotHook {
   void finish();
 
   std::uint64_t snapshots_written() const noexcept { return snapshots_; }
+  /// Snapshot lines skipped because the stream was bad at their cadence
+  /// point; surfaced in the footer and counted into telemetry by the CLI.
+  std::uint64_t dropped_snapshots() const noexcept { return dropped_; }
 
   /// The CLI flag-validation contract, shared with radiomc_sim so the
   /// error-path test and the tool reject exactly the same way: a cadence
@@ -88,6 +98,7 @@ class SnapshotStreamer final : public SlotHook {
   SlotTime last_snap_slot_ = 0;  ///< slot of the previous snapshot line
   SlotTime seen_slot_ = 0;       ///< highest slot pulsed so far
   std::uint64_t snapshots_ = 0;
+  std::uint64_t dropped_ = 0;
   bool header_written_ = false;
   bool finished_ = false;
 };

@@ -80,9 +80,14 @@ BroadcastService::BroadcastService(const Graph& g, const BfsTree& tree,
   RadioNetwork::Config ncfg = cfg.engine;
   if (cfg.mode == BroadcastServiceConfig::ChannelMode::kSeparate) {
     ncfg.num_channels = 2;
+    // Coordinated autosleep only when both subs make the Waker promise:
+    // the muxed node shares one membership bit (see ChannelMuxStation).
+    const bool autosleep =
+        cfg.collection.autosleep && cfg.distribution.autosleep;
     for (NodeId v = 0; v < n; ++v)
       muxes_.push_back(std::make_unique<ChannelMuxStation>(
-          std::vector<SubStation*>{coll_[v].get(), dist_[v].get()}));
+          std::vector<SubStation*>{coll_[v].get(), dist_[v].get()},
+          autosleep));
   } else {
     ncfg.num_channels = 1;
     for (NodeId v = 0; v < n; ++v)
@@ -172,6 +177,7 @@ KBroadcastOutcome run_k_broadcast(const Graph& g, const BfsTree& tree,
   out.slots = svc.now();
   out.root_resends = svc.distribution(tree.root).root_resends();
   out.delivered_prefix = svc.min_delivered_prefix();
+  out.engine_polls = svc.engine_stats().station_polls;
   if (cfg.profiler != nullptr) {
     cfg.profiler->count("broadcast.slots", out.slots);
     cfg.profiler->count("broadcast.root_resends", out.root_resends);

@@ -13,9 +13,19 @@ namespace {
 /// Transmits one fixed message under Decay; everyone else listens.
 class DecayTrialStation final : public Station {
  public:
-  DecayTrialStation(std::uint32_t decay_len, bool transmits, Rng rng)
-      : decay_(decay_len), rng_(rng) {
+  DecayTrialStation(std::uint32_t decay_len, bool transmits, Rng rng,
+                    bool autosleep)
+      : decay_(decay_len), rng_(rng), autosleep_(autosleep) {
     if (transmits) decay_.start();
+  }
+
+  // The Waker promise holds trivially here: a live Decay process transmits
+  // on every polled slot (transmitting retains active-set membership), and
+  // once the coin kills it — or for pure listeners from the start — on_slot
+  // returns no intent and on_slot_end is a no-op, so skipping both changes
+  // nothing. No event ever re-creates transmit desire, hence no wake().
+  void on_attach(Waker& w) override {
+    if (autosleep_) w.set_autosleep(true);
   }
 
   void on_slot(SlotTime, std::span<std::optional<Message>> tx) override {
@@ -42,6 +52,7 @@ class DecayTrialStation final : public Station {
  private:
   DecayProcess decay_;
   Rng rng_;
+  bool autosleep_;
   bool transmitted_ = false;
   bool received_ = false;
 };
@@ -51,7 +62,8 @@ class DecayTrialStation final : public Station {
 bool decay_single_trial(const Graph& g, NodeId receiver,
                         const std::vector<NodeId>& transmitters,
                         std::uint32_t decay_len, Rng& rng,
-                        perf::Profiler* profiler) {
+                        perf::Profiler* profiler, bool autosleep,
+                        std::uint64_t* engine_polls) {
   perf::PerfSpan span(profiler, "decay.invocation");
   require(receiver < g.num_nodes(), "decay_single_trial: receiver in range");
   std::vector<bool> sends(g.num_nodes(), false);
@@ -64,8 +76,8 @@ bool decay_single_trial(const Graph& g, NodeId receiver,
   std::vector<std::unique_ptr<DecayTrialStation>> stations;
   stations.reserve(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v)
-    stations.push_back(
-        std::make_unique<DecayTrialStation>(decay_len, sends[v], rng.split(v)));
+    stations.push_back(std::make_unique<DecayTrialStation>(
+        decay_len, sends[v], rng.split(v), autosleep));
   std::vector<Station*> ptrs;
   ptrs.reserve(stations.size());
   for (auto& s : stations) ptrs.push_back(s.get());
@@ -73,6 +85,7 @@ bool decay_single_trial(const Graph& g, NodeId receiver,
   RadioNetwork net(g);
   net.attach(std::move(ptrs));
   net.run(decay_len);
+  if (engine_polls) *engine_polls = net.engine_stats().station_polls;
   return stations[receiver]->received();
 }
 

@@ -22,11 +22,18 @@ DistributionStation::DistributionStation(NodeId me, const BfsTree& tree,
       cfg_(cfg),
       clock_(make_clock(cfg)),
       rng_(rng),
+      autosleep_(cfg.autosleep),
       decay_(cfg.decay_len) {
   // The era shares the 32-bit aux field with the hop level (16 bits each).
   require(!cfg_.epoch_tags || cfg_.window == 0 || tree.depth < 0x10000,
           "distribution: epoch tags pack the level into 16 bits; depth must "
           "be < 65536");
+}
+
+void DistributionStation::on_attach(Waker& w) {
+  if (!autosleep_) return;  // legacy contract: permanently active
+  waker_ = &w;
+  w.set_autosleep(true);
 }
 
 std::uint32_t DistributionStation::wire_of(std::uint32_t abs) const noexcept {
@@ -57,6 +64,7 @@ std::optional<std::uint32_t> DistributionStation::abs_of(
 
 std::uint32_t DistributionStation::root_enqueue(const Message& app) {
   require(is_root_, "root_enqueue on a non-root station");
+  if (waker_) waker_->wake();  // defensive; the duty check pins the root
   Message m = app;
   m.kind = MsgKind::kBcastData;
   m.dest = kAllNodes;
@@ -68,6 +76,7 @@ std::uint32_t DistributionStation::root_enqueue(const Message& app) {
 
 void DistributionStation::root_request_resend(std::uint32_t seq) {
   require(is_root_, "root_request_resend on a non-root station");
+  if (waker_) waker_->wake();
   // Only sequence numbers actually transmitted can be legitimately missing;
   // anything else is a spurious request (e.g. a decode gone stale).
   if (seq >= sent_hi_ || seq < base_) return;
@@ -76,6 +85,7 @@ void DistributionStation::root_request_resend(std::uint32_t seq) {
 
 void DistributionStation::root_checkpoint_ack(NodeId who, std::uint32_t cp) {
   require(is_root_, "root_checkpoint_ack on a non-root station");
+  if (waker_) waker_->wake();
   if (cfg_.window == 0 || who == me_) return;
   checkpoint_acks_[cp].insert(who);
 }
@@ -83,9 +93,19 @@ void DistributionStation::root_checkpoint_ack(NodeId who, std::uint32_t cp) {
 void DistributionStation::on_superphase_boundary(std::uint64_t sp) {
   if (!is_root_) {
     // Store-and-forward pipeline register shift (§6: forward during this
-    // superphase what arrived during the previous one).
-    forwarding_ = received_sp_;
-    received_sp_.reset();
+    // superphase what arrived during the previous one). The guard is
+    // vacuous for an always-active station — its boundary fires at every
+    // superphase start, before any reception of that superphase, so a
+    // captured register is always from sp-1. An autosleep station firing a
+    // late boundary must not promote a reception made in the boundary's
+    // own superphase; it stays in received_sp_ for the next shift, exactly
+    // where the on-time schedule would have put it.
+    if (received_sp_ && received_sp_at_ < sp) {
+      forwarding_ = received_sp_;
+      received_sp_.reset();
+    } else {
+      forwarding_.reset();
+    }
 
     // Re-issue NACKs for messages still missing after the retry interval.
     if (nack_fn_) {
@@ -170,6 +190,16 @@ std::optional<Message> DistributionStation::poll(SlotTime t) {
     on_superphase_boundary(sp);
   }
 
+  // Autosleep duty check: stay awake while any state machine owes future
+  // action. The root is pinned — its boundary reacts to mid-superphase
+  // root_enqueue() calls and to the idle-rebroadcast duty, so it may never
+  // fire late. A non-root owes action while a register holds a message or
+  // a NACK retry timer runs; with all three empty every skipped poll is a
+  // provable no-op.
+  if (waker_ &&
+      (is_root_ || forwarding_ || received_sp_ || !nack_last_sp_.empty()))
+    waker_->wake();
+
   if (!forwarding_) return std::nullopt;
   const PhaseClock::SlotInfo info = clock_.decode(t);
   if (!clock_.level_may_send_data(info, level_)) return std::nullopt;
@@ -222,6 +252,10 @@ void DistributionStation::note_received(SlotTime t, std::uint32_t abs,
 }
 
 void DistributionStation::deliver(SlotTime t, const Message& m) {
+  // Wake unconditionally: receptions reach sleeping stations, and any of
+  // them may create forwarding or NACK duty. The next poll's duty check
+  // re-evaluates; a filtered-out copy just costs one polled slot.
+  if (waker_) waker_->wake();
   if (m.kind != MsgKind::kBcastData) return;
   if (is_root_) return;
   // Accept only the level-(i-1) wave. Legacy wire format: aux is the bare
@@ -239,7 +273,10 @@ void DistributionStation::deliver(SlotTime t, const Message& m) {
 
   Message stored = m;
   stored.seq = *abs;  // keep absolute numbering internally
-  if (!received_sp_) received_sp_ = stored;
+  if (!received_sp_) {
+    received_sp_ = stored;
+    received_sp_at_ = t / slots_per_superphase();
+  }
   note_received(t, *abs, stored);
 }
 

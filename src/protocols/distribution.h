@@ -68,6 +68,16 @@ struct DistributionConfig {
   /// is identically 0 and aux carries exactly the level).
   bool epoch_tags = true;
 
+  /// Opt into the active-set engine's autosleep (radio/waker.h). A
+  /// non-root station's idle slots touch no state once its pipeline
+  /// registers and NACK timers are empty, so it sleeps until the next
+  /// reception; the root is deliberately pinned awake — its superphase
+  /// boundary reacts to mid-superphase root_enqueue() calls, so a late
+  /// (caught-up) boundary could pick a fresh message one superphase
+  /// earlier than an always-active root would. Byte-identical deliveries
+  /// either way; the engine_diff A/B test is the proof.
+  bool autosleep = true;
+
   static DistributionConfig for_graph(const Graph& g) {
     DistributionConfig c;
     c.decay_len = decay_length(g.max_degree());
@@ -82,6 +92,7 @@ class DistributionStation final : public SubStation {
   DistributionStation(NodeId me, const BfsTree& tree, DistributionConfig cfg,
                       Rng rng);
 
+  void on_attach(Waker& w) override;
   std::optional<Message> poll(SlotTime t) override;
   void deliver(SlotTime t, const Message& m) override;
   void tick(SlotTime t) override;
@@ -146,6 +157,9 @@ class DistributionStation final : public SubStation {
   PhaseClock clock_;
   Rng rng_;
 
+  bool autosleep_;
+  Waker* waker_ = nullptr;  ///< set by on_attach iff autosleep_ is on
+
   DecayProcess decay_;
   std::uint64_t attempt_phase_ = static_cast<std::uint64_t>(-1);
   std::uint64_t last_superphase_ = static_cast<std::uint64_t>(-1);
@@ -154,6 +168,12 @@ class DistributionStation final : public SubStation {
   // Pipeline registers.
   std::optional<Message> forwarding_;     ///< sent during this superphase
   std::optional<Message> received_sp_;    ///< first reception this superphase
+  /// Superphase in which received_sp_ was captured. An autosleep station
+  /// can fire a boundary *late* (first poll after a wake); the shift must
+  /// then promote only a reception made before the boundary's superphase —
+  /// an always-active station would have shifted an empty register at the
+  /// superphase start and captured this reception for the *next* shift.
+  std::uint64_t received_sp_at_ = 0;
 
   // Root sender state.
   std::deque<Message> pending_;           ///< fresh, seq already assigned

@@ -21,7 +21,14 @@ P2pUpStation::P2pUpStation(NodeId me, const RoutingInfo& info, P2pConfig cfg,
       info_(info),
       clock_(cfg.slots),
       rng_(rng),
+      autosleep_(cfg.autosleep),
       decay_(cfg.slots.decay_len) {}
+
+void P2pUpStation::on_attach(Waker& w) {
+  if (!autosleep_) return;  // legacy contract: permanently active
+  waker_ = &w;
+  w.set_autosleep(true);
+}
 
 std::uint32_t P2pUpStation::send(std::uint32_t dest_addr,
                                  std::uint64_t payload) {
@@ -32,6 +39,7 @@ std::uint32_t P2pUpStation::send(std::uint32_t dest_addr,
   m.payload = payload;
   m.seq = next_seq_++;
   route(0, m);
+  if (waker_ != nullptr) waker_->wake();  // fresh duty for a sleeping node
   return m.seq;
 }
 
@@ -47,6 +55,13 @@ void P2pUpStation::route(SlotTime t, const Message& m) {
 }
 
 std::optional<Message> P2pUpStation::poll(SlotTime t) {
+  // Autosleep duty check (collection's pattern): stay awake while an ack
+  // is owed or buffered traffic can still climb (a rootward buffer with no
+  // parent never drains — same dead end as always-active, minus the polls).
+  if (waker_ != nullptr &&
+      (ack_to_send_ || (!buffer_.empty() && info_.parent != kNoNode)))
+    waker_->wake();
+
   const PhaseClock::SlotInfo info = clock_.decode(t);
 
   if (info.is_ack) {
@@ -75,6 +90,10 @@ std::optional<Message> P2pUpStation::poll(SlotTime t) {
 }
 
 void P2pUpStation::deliver(SlotTime t, const Message& m) {
+  // Receptions reach sleeping stations; any of them may create duty (an
+  // ack popping the buffer head, data owing an ack). Wake unconditionally
+  // and let the next poll's duty check re-evaluate.
+  if (waker_ != nullptr) waker_->wake();
   const PhaseClock::SlotInfo info = clock_.decode(t);
 
   if (info.is_ack) {
@@ -118,9 +137,20 @@ P2pDownStation::P2pDownStation(NodeId me, const RoutingInfo& info,
       info_(info),
       clock_(cfg.slots),
       rng_(rng),
+      autosleep_(cfg.autosleep),
       decay_(cfg.slots.decay_len) {}
 
+void P2pDownStation::on_attach(Waker& w) {
+  if (!autosleep_) return;  // legacy contract: permanently active
+  waker_ = &w;
+  w.set_autosleep(true);
+}
+
 std::optional<Message> P2pDownStation::poll(SlotTime t) {
+  // Autosleep duty check: an owed ack or buffered descent is future work.
+  if (waker_ != nullptr && (ack_to_send_ || !buffer_.empty()))
+    waker_->wake();
+
   const PhaseClock::SlotInfo info = clock_.decode(t);
 
   if (info.is_ack) {
@@ -149,6 +179,7 @@ std::optional<Message> P2pDownStation::poll(SlotTime t) {
 }
 
 void P2pDownStation::deliver(SlotTime t, const Message& m) {
+  if (waker_ != nullptr) waker_->wake();  // see P2pUpStation::deliver
   const PhaseClock::SlotInfo info = clock_.decode(t);
 
   if (info.is_ack) {
@@ -241,7 +272,8 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   std::deque<ChannelMuxStation> muxes;
   std::vector<Station*> ptrs;
   for (NodeId v = 0; v < n; ++v)
-    muxes.emplace_back(std::vector<SubStation*>{ups[v].get(), downs[v].get()});
+    muxes.emplace_back(std::vector<SubStation*>{ups[v].get(), downs[v].get()},
+                       cfg.autosleep);
   for (auto& m : muxes) ptrs.push_back(&m);
 
   RadioNetwork::Config ncfg;
@@ -322,6 +354,7 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
                             : RunStatus::kFailed;
   out.slots = net.now();
   out.delivered = delivered;
+  out.engine_polls = net.engine_stats().station_polls;
 
   if (cfg.telemetry != nullptr) {
     telemetry::Telemetry& tel = *cfg.telemetry;

@@ -55,6 +55,13 @@ struct P2pConfig {
   /// slots, the driver stops with RunStatus::kDegraded. 0 = off.
   SlotTime stall_slots = 0;
 
+  /// Opt into the active-set engine's autosleep (radio/waker.h): a node
+  /// sleeps while neither half owes an ack or holds buffered traffic, and
+  /// any reception wakes it. The driver composes both halves under a
+  /// coordinated ChannelMuxStation, so the promise is joint. Byte-identical
+  /// deliveries either way; the engine_diff A/B test is the proof.
+  bool autosleep = true;
+
   static P2pConfig for_graph(const Graph& g) {
     P2pConfig c;
     c.slots.decay_len = decay_length(g.max_degree());
@@ -77,6 +84,7 @@ class P2pUpStation final : public SubStation {
   /// Wires the handoff to this node's downward half (LCA turn).
   void set_down(P2pDownStation* down) noexcept { down_ = down; }
 
+  void on_attach(Waker& w) override;
   std::optional<Message> poll(SlotTime t) override;
   void deliver(SlotTime t, const Message& m) override;
   void tick(SlotTime t) override;
@@ -96,6 +104,8 @@ class P2pUpStation final : public SubStation {
   PhaseClock clock_;
   Rng rng_;
   P2pDownStation* down_ = nullptr;
+  bool autosleep_;
+  Waker* waker_ = nullptr;  ///< set by on_attach iff autosleep_ is on
 
   std::deque<Message> buffer_;
   DecayProcess decay_;
@@ -112,12 +122,18 @@ class P2pDownStation final : public SubStation {
  public:
   P2pDownStation(NodeId me, const RoutingInfo& info, P2pConfig cfg, Rng rng);
 
+  void on_attach(Waker& w) override;
   std::optional<Message> poll(SlotTime t) override;
   void deliver(SlotTime t, const Message& m) override;
   void tick(SlotTime t) override;
 
-  /// LCA handoff from the upward half (or from local origination).
-  void enqueue(const Message& m) { buffer_.push_back(m); }
+  /// LCA handoff from the upward half (or from local origination). Wakes
+  /// the station: the handoff happens inside the upward half's deliver,
+  /// and the new buffer entry is transmit duty for the *next* poll.
+  void enqueue(const Message& m) {
+    buffer_.push_back(m);
+    if (waker_ != nullptr) waker_->wake();
+  }
 
   std::size_t buffer_size() const noexcept { return buffer_.size(); }
   const std::vector<P2pUpStation::Delivery>& sink() const noexcept {
@@ -129,6 +145,8 @@ class P2pDownStation final : public SubStation {
   RoutingInfo info_;
   PhaseClock clock_;
   Rng rng_;
+  bool autosleep_;
+  Waker* waker_ = nullptr;  ///< set by on_attach iff autosleep_ is on
 
   std::deque<Message> buffer_;
   DecayProcess decay_;
@@ -157,6 +175,8 @@ struct P2pOutcome {
   std::uint64_t delivered = 0;
   /// Per request: slot at which it reached its destination (or -1).
   std::vector<SlotTime> delivery_slot;
+  /// Engine on_slot invocations — the autosleep payoff metric.
+  std::uint64_t engine_polls = 0;
 };
 
 /// Runs k point-to-point transmissions injected at slot 0 and measures the

@@ -67,11 +67,12 @@ class SubStation {
   SubStation(const SubStation&) = delete;
   SubStation& operator=(const SubStation&) = delete;
 
-  /// Engine adoption, forwarded by SingleStation only. The composing
-  /// adapters (ChannelMuxStation, TimeDivisionStation) deliberately do NOT
-  /// forward: their SubStations share one membership bit, so no single
-  /// SubStation can promise the whole node's idleness. A SubStation that
-  /// opts in via `w.set_autosleep(true)` makes the Waker contract's promise
+  /// Engine adoption, forwarded by SingleStation, and by ChannelMuxStation
+  /// only in coordinated-autosleep mode. TimeDivisionStation never
+  /// forwards, and a non-coordinated ChannelMuxStation doesn't either:
+  /// their SubStations share one membership bit, so no single SubStation
+  /// can promise the whole node's idleness. A SubStation that opts in via
+  /// `w.set_autosleep(true)` makes the Waker contract's promise
   /// (radio/waker.h) for itself alone.
   virtual void on_attach(Waker& /*w*/) {}
 
@@ -103,8 +104,23 @@ class SingleStation final : public Station {
 /// SubStation i <-> channel i; all advance every slot (separate channels).
 class ChannelMuxStation final : public Station {
  public:
-  explicit ChannelMuxStation(std::vector<SubStation*> subs)
-      : subs_(std::move(subs)) {}
+  /// `coordinated_autosleep` opts the whole node into the engine's active
+  /// set and forwards the Waker to every SubStation. Sound only when EVERY
+  /// sub independently keeps the Waker promise (duty-wakes while it holds
+  /// pending work, wakes on the deliveries that create work): the subs
+  /// share one membership bit, so the node sleeps exactly when no sub
+  /// transmitted or woke this slot — which the per-sub promises jointly
+  /// make safe. TimeDivisionStation deliberately has no such mode: a sub's
+  /// duty wake buys exactly one polled slot, so a time-sliced node could
+  /// sleep through the *other* sub's dedicated slots and deadlock.
+  explicit ChannelMuxStation(std::vector<SubStation*> subs,
+                             bool coordinated_autosleep = false)
+      : subs_(std::move(subs)), autosleep_(coordinated_autosleep) {}
+  void on_attach(Waker& w) override {
+    if (!autosleep_) return;
+    w.set_autosleep(true);
+    for (auto* s : subs_) s->on_attach(w);
+  }
   void on_slot(SlotTime t, std::span<std::optional<Message>> tx) override {
     for (std::size_t c = 0; c < subs_.size(); ++c) tx[c] = subs_[c]->poll(t);
   }
@@ -117,6 +133,7 @@ class ChannelMuxStation final : public Station {
 
  private:
   std::vector<SubStation*> subs_;
+  bool autosleep_;
 };
 
 /// SubStation i active in physical slots t with t % k == i, on channel 0,

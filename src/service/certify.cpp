@@ -23,7 +23,8 @@ void CertifyConfig::validate() const {
 
 SoakVerdict certify_soak(const ServeOutcome& out, double offered_rate,
                          double mu, std::uint32_t depth,
-                         const CertifyConfig& cfg) {
+                         const CertifyConfig& cfg,
+                         const HealthSummary* health) {
   cfg.validate();
   SoakVerdict v;
   v.offered_rate = offered_rate;
@@ -65,8 +66,14 @@ SoakVerdict certify_soak(const ServeOutcome& out, double offered_rate,
   v.queues_bounded =
       static_cast<double>(out.peak_level_depth) <= v.queue_bound;
 
-  v.pass =
-      v.throughput_ok && v.sojourn_ok && v.exactly_once_ok && v.queues_bounded;
+  if (health != nullptr) {
+    v.health_checked = true;
+    v.health = *health;
+    v.health_ok = health->trips == 0;
+  }
+
+  v.pass = v.throughput_ok && v.sojourn_ok && v.exactly_once_ok &&
+           v.queues_bounded && (!v.health_checked || v.health_ok);
   return v;
 }
 
@@ -118,6 +125,17 @@ std::string SoakVerdict::to_json() const {
   w.member("bound", queue_bound);
   w.member("ok", queues_bounded);
   w.end_object();
+
+  if (health_checked) {
+    w.key("health");
+    w.begin_object();
+    w.member("windows", health.windows);
+    w.member("trips", health.trips);
+    w.member("clears", health.clears);
+    w.member("active", health.active);
+    w.member("ok", health_ok);
+    w.end_object();
+  }
 
   w.end_object();
   return out;

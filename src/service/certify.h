@@ -18,6 +18,9 @@
 //  * bounded queues — no BFS level's start-of-phase depth ever exceeded
 //    twice the admission controller's Hsu-Burke envelope.
 //
+// A soak that ran with an online health monitor attached adds a fifth
+// check: zero alert-rule trips over the run (health/rules.h).
+//
 // The verdict serializes as `radiomc.soak/v1` (schema documented in
 // docs/OBSERVABILITY.md), the soak-mode sibling of the live
 // radiomc.snap/v1 stream.
@@ -40,12 +43,29 @@ struct CertifyConfig {
   void validate() const;
 };
 
+/// Alert totals from an online health monitor (src/health/), folded into
+/// the verdict when the soak ran with one attached.
+struct HealthSummary {
+  std::uint64_t windows = 0;
+  std::uint64_t trips = 0;
+  std::uint64_t clears = 0;
+  /// Rules still tripped when the run ended.
+  std::uint64_t active = 0;
+};
+
 struct SoakVerdict {
   bool pass = false;
   bool throughput_ok = false;
   bool sojourn_ok = false;
   bool exactly_once_ok = false;
   bool queues_bounded = false;
+  /// True when the run carried a health monitor; `health_ok` (zero alert
+  /// trips) then becomes a fifth pass condition and a "health" section
+  /// joins the JSON document. Without a monitor both stay out of the
+  /// verdict entirely, keeping pre-health documents byte-identical.
+  bool health_checked = false;
+  bool health_ok = false;
+  HealthSummary health;
   /// Echo of the run status — informational, not part of `pass` (a
   /// fault-churn soak is expected to degrade yet may still certify).
   bool degraded = false;
@@ -81,9 +101,12 @@ struct SoakVerdict {
 
 /// Judges a finished measurement. `offered_rate` is the arrival process'
 /// stationary mean (ArrivalSpec::mean_rate), `mu` the Theorem 4.1 advance
-/// rate, `depth` the BFS tree depth D of the Thm 4.15 tandem.
+/// rate, `depth` the BFS tree depth D of the Thm 4.15 tandem. `health`
+/// (optional) folds an online monitor's alert totals into the verdict:
+/// certification then also requires zero rule trips.
 SoakVerdict certify_soak(const ServeOutcome& out, double offered_rate,
                          double mu, std::uint32_t depth,
-                         const CertifyConfig& cfg);
+                         const CertifyConfig& cfg,
+                         const HealthSummary* health = nullptr);
 
 }  // namespace radiomc::service

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "health/monitor.h"
 #include "perf/profiler.h"
 #include "queueing/analysis.h"
 #include "radio/network.h"
@@ -98,6 +99,10 @@ ServeOutcome run_service(const Graph& g, const BfsTree& tree,
   for (auto& a : adapters) ptrs.push_back(&a);
   RadioNetwork net(g);
   if (cfg.slot_hook != nullptr) net.set_slot_hook(cfg.slot_hook);
+  // Installed only when a monitor is present: with health off the network
+  // carries no trace sink at all, exactly as before this subsystem
+  // existed, so health-off serve output stays byte-identical.
+  if (cfg.health != nullptr) net.set_trace(cfg.health->sink());
   net.attach(std::move(ptrs));
 
   const std::uint64_t slots_per_phase = st[0]->clock().slots_per_phase();
@@ -155,6 +160,7 @@ ServeOutcome run_service(const Graph& g, const BfsTree& tree,
   std::uint64_t in_system = 0;
   std::uint64_t arrivals_total = 0;
   std::uint64_t delivered_total = 0;
+  double sojourn_sum_total = 0.0;  // all deliveries, warmup included
 
   // Controller totals at the warmup boundary, for measured-window deltas.
   std::uint64_t admitted0 = 0, deferred0 = 0, shed0 = 0;
@@ -242,6 +248,7 @@ ServeOutcome run_service(const Graph& g, const BfsTree& tree,
       }
       --in_system;
       ++delivered_total;
+      sojourn_sum_total += static_cast<double>(phase - it->second + 1);
       if (measured) {
         ++out.delivered;
         out.sojourn_phases.add(static_cast<double>(phase - it->second + 1));
@@ -258,6 +265,18 @@ ServeOutcome run_service(const Graph& g, const BfsTree& tree,
       c_duplicates->set(out.duplicates);
       g_in_system->set(static_cast<double>(in_system));
       g_defer_backlog->set(static_cast<double>(held.size()));
+    }
+
+    if (cfg.health != nullptr) {
+      health::PhaseSample hs;
+      hs.phase = phase;
+      hs.arrivals = arrivals_total;
+      hs.delivered = delivered_total;
+      hs.sojourn_sum = sojourn_sum_total;
+      hs.in_system = in_system;
+      hs.engine_polls = net.engine_stats().station_polls;
+      hs.wake_events = net.engine_stats().wake_events;
+      cfg.health->on_phase(hs);
     }
   }
 

@@ -41,6 +41,10 @@ namespace perf {
 class Profiler;  // src/perf/profiler.h; forward-declared so no service
                  // header includes the measurement layer (perf-purity)
 }  // namespace perf
+namespace health {
+class Monitor;  // src/health/monitor.h; forward-declared for the same
+                // reason — observers are wired, never read back
+}  // namespace health
 }  // namespace radiomc
 
 namespace radiomc::service {
@@ -73,6 +77,11 @@ struct ServeConfig {
   telemetry::Telemetry* telemetry = nullptr;
   perf::Profiler* profiler = nullptr;
   SlotHook* slot_hook = nullptr;
+  /// Online health monitor (src/health/): when set, the driver installs
+  /// its flight recorder as the network's trace sink and feeds it one
+  /// PhaseSample per completed phase. When null, no sink is installed and
+  /// the run is byte-identical to a health-free build.
+  health::Monitor* health = nullptr;
 
   /// Throws std::invalid_argument on a contradictory config (zero measured
   /// horizon, bad arrival spec or admission config).

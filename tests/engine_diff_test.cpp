@@ -40,7 +40,11 @@
 #include "faults/fault_schedule.h"
 #include "graph/generators.h"
 #include "protocols/bgi_broadcast.h"
+#include "protocols/broadcast_service.h"
 #include "protocols/collection.h"
+#include "protocols/decay.h"
+#include "protocols/dfs_numbering.h"
+#include "protocols/point_to_point.h"
 #include "protocols/tree.h"
 #include "radio/network.h"
 #include "reference_engine.h"
@@ -495,6 +499,133 @@ TEST(AutosleepAB, CollectionIdenticalUnderFaultsToo) {
   for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
     EXPECT_EQ(a.deliveries[i].slot, b.deliveries[i].slot);
     EXPECT_EQ(a.deliveries[i].msg.origin, b.deliveries[i].msg.origin);
+  }
+}
+
+TEST(AutosleepAB, DecayTrialIsByteIdenticalAndPollsLess) {
+  // Listeners never transmit and a live Decay process transmits on every
+  // polled slot, so autosleep needs zero wake() calls: the result must
+  // match with strictly fewer polls (the listeners' idle slots).
+  const Graph g = gen::star(20);
+  std::vector<NodeId> transmitters;
+  for (NodeId v = 1; v <= 6; ++v) transmitters.push_back(v);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng_on(seed * 31);
+    Rng rng_off(seed * 31);
+    std::uint64_t polls_on = 0, polls_off = 0;
+    const bool a = decay_single_trial(g, 0, transmitters, 8, rng_on, nullptr,
+                                      /*autosleep=*/true, &polls_on);
+    const bool b = decay_single_trial(g, 0, transmitters, 8, rng_off, nullptr,
+                                      /*autosleep=*/false, &polls_off);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_EQ(rng_on.next(), rng_off.next()) << "seed " << seed;
+    EXPECT_LT(polls_on, polls_off) << "seed " << seed;
+  }
+}
+
+TEST(AutosleepAB, KBroadcastIsByteIdenticalAndPollsLess) {
+  // Distribution + collection under the coordinated ChannelMuxStation:
+  // every node's in-order delivery log must match slot-for-slot, and the
+  // root's resend/idle-rebroadcast books must agree — only the poll count
+  // may change.
+  const Graph g = gen::grid(5, 5);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < g.num_nodes(); v += 3) sources.push_back(v);
+  BroadcastServiceConfig on = BroadcastServiceConfig::for_graph(g);
+  on.collection.autosleep = true;
+  on.distribution.autosleep = true;
+  on.distribution.window = 4;
+  BroadcastServiceConfig off = on;
+  off.collection.autosleep = false;
+  off.distribution.autosleep = false;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const KBroadcastOutcome a =
+        run_k_broadcast(g, tree, sources, on, seed, 2'000'000);
+    const KBroadcastOutcome b =
+        run_k_broadcast(g, tree, sources, off, seed, 2'000'000);
+    ASSERT_TRUE(a.completed) << "seed " << seed;
+    ASSERT_TRUE(b.completed) << "seed " << seed;
+    EXPECT_EQ(a.slots, b.slots) << "seed " << seed;
+    EXPECT_EQ(a.delivered_prefix, b.delivered_prefix) << "seed " << seed;
+    EXPECT_EQ(a.root_resends, b.root_resends) << "seed " << seed;
+    EXPECT_LT(a.engine_polls, b.engine_polls) << "seed " << seed;
+  }
+}
+
+TEST(AutosleepAB, BroadcastDeliveryLogsIdenticalSlotForSlot) {
+  // Stronger than outcome equality: drive two services in lockstep and
+  // compare every node's (slot, seq) delivery log byte-for-byte.
+  const Graph g = gen::path(18);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  BroadcastServiceConfig on = BroadcastServiceConfig::for_graph(g);
+  on.distribution.window = 4;
+  BroadcastServiceConfig off = on;
+  off.collection.autosleep = false;
+  off.distribution.autosleep = false;
+  BroadcastService sa(g, tree, on, 77);
+  BroadcastService sb(g, tree, off, 77);
+  for (NodeId v = 0; v < g.num_nodes(); v += 2) {
+    sa.broadcast(v, 4000 + v);
+    sb.broadcast(v, 4000 + v);
+  }
+  ASSERT_TRUE(sa.run_until_delivered(2'000'000));
+  ASSERT_TRUE(sb.run_until_delivered(2'000'000));
+  EXPECT_EQ(sa.now(), sb.now());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(sa.distribution(v).delivery_log(),
+              sb.distribution(v).delivery_log())
+        << "node " << v;
+  EXPECT_LT(sa.engine_stats().station_polls, sb.engine_stats().station_polls);
+}
+
+TEST(AutosleepAB, BroadcastIdenticalUnderFaultsToo) {
+  const Graph g = gen::grid(4, 4);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  BroadcastServiceConfig on = BroadcastServiceConfig::for_graph(g);
+  on.distribution.window = 4;
+  on.faults.crash_rate = 0.01;
+  on.faults.recover_rate = 0.3;
+  on.faults.drop_prob = 0.02;
+  on.faults.epoch_slots = 512;
+  on.stall_slots = 200'000;
+  BroadcastServiceConfig off = on;
+  off.collection.autosleep = false;
+  off.distribution.autosleep = false;
+  std::vector<NodeId> sources = {1, 5, 9, 13};
+  const KBroadcastOutcome a =
+      run_k_broadcast(g, tree, sources, on, 11, 1'000'000);
+  const KBroadcastOutcome b =
+      run_k_broadcast(g, tree, sources, off, 11, 1'000'000);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.delivered_prefix, b.delivered_prefix);
+  EXPECT_EQ(a.root_resends, b.root_resends);
+}
+
+TEST(AutosleepAB, PointToPointIsByteIdenticalAndPollsLess) {
+  Rng rng(414);
+  const Graph g = gen::gnp_connected(24, 0.2, rng);
+  const BfsTree tree = oracle_bfs_tree(g, 0);
+  const PreparationResult prep = run_preparation(g, tree);
+  ASSERT_TRUE(prep.ok);
+  std::vector<P2pRequest> reqs;
+  for (int i = 0; i < 20; ++i)
+    reqs.push_back({static_cast<NodeId>(rng.next_below(g.num_nodes())),
+                    static_cast<NodeId>(rng.next_below(g.num_nodes())),
+                    static_cast<std::uint64_t>(9000 + i)});
+  P2pConfig on = P2pConfig::for_graph(g);
+  on.autosleep = true;
+  P2pConfig off = on;
+  off.autosleep = false;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const P2pOutcome a = run_point_to_point(g, prep, reqs, on, seed);
+    const P2pOutcome b = run_point_to_point(g, prep, reqs, off, seed);
+    ASSERT_TRUE(a.completed) << "seed " << seed;
+    ASSERT_TRUE(b.completed) << "seed " << seed;
+    EXPECT_EQ(a.slots, b.slots) << "seed " << seed;
+    EXPECT_EQ(a.delivery_slot, b.delivery_slot) << "seed " << seed;
+    EXPECT_LT(a.engine_polls, b.engine_polls) << "seed " << seed;
   }
 }
 

@@ -158,6 +158,23 @@ TEST(LintDeterminism, ServiceZoneIsDeterministicAndPerfPure) {
   EXPECT_EQ(CountRule(findings, "analysis-offline"), 1u);
 }
 
+TEST(LintDeterminism, HealthZoneIsDeterministicAndPerfPure) {
+  // src/health streams radiomc.health/v1 as a pure function of (seed,
+  // config): iteration order, wall time, and the offline auditor are all
+  // forbidden there for the same reasons as in src/service.
+  const auto findings = Lint(
+      {{"src/health/bad.cpp", "#include <unordered_map>\n"
+                              "std::unordered_map<int, int> m;\n"},
+       {"src/health/bad.h", "#include \"perf/profiler.h\"\n"},
+       {"src/health/flow.cpp", "long f(Stopwatch& w) { return 0; }\n"},
+       {"src/health/offline.cpp",
+        "#include \"analysis/trace_event.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "unordered-container"), 1u);
+  EXPECT_EQ(CountRule(findings, "perf-purity-include"), 1u);
+  EXPECT_EQ(CountRule(findings, "perf-purity-flow"), 1u);
+  EXPECT_EQ(CountRule(findings, "analysis-offline"), 1u);
+}
+
 TEST(LintDeterminism, WaiverSuppressesUnorderedContainer) {
   const auto findings = Lint(
       {{"src/protocols/waived.cpp",

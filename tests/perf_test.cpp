@@ -206,8 +206,10 @@ TEST(SnapshotStream, GoldenLayoutWithoutProfiler) {
             "{\"ev\":\"schema\",\"v\":\"radiomc.snap/v1\",\"every\":10}");
   EXPECT_EQ(lines[1], "{\"ev\":\"snap\",\"slot\":10,\"metrics\":null}");
   EXPECT_EQ(lines[2], "{\"ev\":\"snap\",\"slot\":20,\"metrics\":null}");
-  EXPECT_EQ(lines[3], "{\"ev\":\"end\",\"slot\":25,\"snapshots\":2}");
+  EXPECT_EQ(lines[3],
+            "{\"ev\":\"end\",\"slot\":25,\"snapshots\":2,\"clean\":true}");
   EXPECT_EQ(snap.snapshots_written(), 2u);
+  EXPECT_EQ(snap.dropped_snapshots(), 0u);
 }
 
 TEST(SnapshotStream, MetricsAreEmbeddedAndStreamsAreDeterministic) {
@@ -250,7 +252,29 @@ TEST(SnapshotStream, FinishIsIdempotentAndStopsSnapshots) {
   snap.finish();         // second finish: no second end record
   const std::vector<std::string> lines = Lines(out.str());
   ASSERT_EQ(lines.size(), 3u);
-  EXPECT_EQ(lines[2], "{\"ev\":\"end\",\"slot\":2,\"snapshots\":1}");
+  EXPECT_EQ(lines[2],
+            "{\"ev\":\"end\",\"slot\":2,\"snapshots\":1,\"clean\":true}");
+}
+
+TEST(SnapshotStream, DroppedCadencePointsDirtyTheFooter) {
+  // A stream that goes bad mid-run must not masquerade as complete: the
+  // missed cadence points are counted and the footer reports clean:false.
+  std::ostringstream out;
+  SnapshotStreamer snap(out, 2, nullptr);
+  snap.on_slot_done(2);
+  out.setstate(std::ios::badbit);  // stream goes bad
+  snap.on_slot_done(4);            // dropped
+  snap.on_slot_done(6);            // dropped
+  out.clear();                     // recovers in time for the footer
+  snap.on_slot_done(8);
+  snap.finish();
+  EXPECT_EQ(snap.snapshots_written(), 2u);
+  EXPECT_EQ(snap.dropped_snapshots(), 2u);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_EQ(lines.back(),
+            "{\"ev\":\"end\",\"slot\":8,\"snapshots\":2,\"clean\":false,"
+            "\"dropped\":2}");
 }
 
 TEST(SnapshotStream, UnwritablePathReportsNotOk) {

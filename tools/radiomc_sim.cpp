@@ -58,6 +58,7 @@
 
 #include "faults/fault_plan.h"
 #include "graph/algorithms.h"
+#include "health/monitor.h"
 #include "perf/profiler.h"
 #include "perf/report.h"
 #include "perf/snapshot.h"
@@ -167,6 +168,9 @@ int usage() {
       "             [--phases P | --slots N] [--warmup P] [--uniform]\n"
       "             [--admission off|shed|defer [--envelope M]]\n"
       "             [--no-dedup] [--no-autosleep]\n"
+      "             [--health-out FILE [--alert-rules SPEC] "
+      "[--health-window N]]\n"
+      "                                  (radiomc.health/v1 alert stream)\n"
       "             [--certify [--certify-margin F] [--certify-sojourn M]\n"
       "              [--soak-out FILE]]   (radiomc.soak/v1 verdict)\n"
       "  setup      run the full §2 setup phase      [--anon BITS] "
@@ -300,6 +304,16 @@ struct Obs {
     }
     if (snap) {
       snap->finish();
+      if (snap->dropped_snapshots() > 0) {
+        // Same loud-truncation contract as the trace sink: the footer says
+        // "clean":false, the counter survives into --metrics-out, and the
+        // operator hears about it on stdout.
+        tel.metrics.counter("snap.dropped_snapshots")
+            .inc(snap->dropped_snapshots());
+        std::printf("  snapshots: STREAM WENT BAD, %llu snapshots dropped\n",
+                    static_cast<unsigned long long>(
+                        snap->dropped_snapshots()));
+      }
       std::printf("  snapshots: %llu\n",
                   static_cast<unsigned long long>(snap->snapshots_written()));
     }
@@ -740,6 +754,9 @@ TrialOut serve_core(const Args& a, std::uint64_t seed,
       a.has("slots") && a.has("phases"), a.has("soak-out"),
       a.has("certify-margin"), a.has("certify-sojourn"), a.has("envelope"),
       policy != svc::AdmissionPolicy::kOff);
+  health::Monitor::validate_flags(a.has("health-out"), a.has("alert-rules"),
+                                  a.has("health-window"),
+                                  a.get_u64("health-window", 64));
 
   World w = make_world(a, seed, true, tel, nullptr, nullptr, prof);
   Rng rng(seed ^ 0xB6);
@@ -764,7 +781,26 @@ TrialOut serve_core(const Args& a, std::uint64_t seed,
   cfg.profiler = prof;
   cfg.slot_hook = hook;
 
+  // --health-out: attach the online monitor. Its flight recorder rides the
+  // same null-guarded TraceSink hook as --trace-out elsewhere, so a run
+  // without the flag is byte-identical to one that predates the monitor.
+  std::unique_ptr<health::Monitor> mon;
+  const std::string health_path = a.get("health-out", "");
+  if (!health_path.empty()) {
+    health::HealthConfig hcfg;
+    hcfg.window_phases = a.get_u64("health-window", 64);
+    hcfg.rules = a.get("alert-rules", "default");
+    hcfg.offered_rate = cfg.arrival.mean_rate();
+    hcfg.depth = w.setup.tree.depth;
+    hcfg.warmup_phases = cfg.warmup_phases;
+    mon = std::make_unique<health::Monitor>(
+        w.g.num_nodes(), w.setup.tree.level, hcfg, health_path);
+    require(mon->ok(), "cannot open --health-out file " + health_path);
+    cfg.health = mon.get();
+  }
+
   const auto out = svc::run_service(w.g, w.setup.tree, cfg, rng.next());
+  if (mon) mon->finish();
 
   const double mu = queueing::mu_decay();
   const double lambda = cfg.arrival.mean_rate();
@@ -795,6 +831,16 @@ TrialOut serve_core(const Args& a, std::uint64_t seed,
   r.report += fault_report_line(cfg.faults);
   if (cfg.faults.any() || out.status != RunStatus::kOk)
     r.report += strf("  status: %s\n", to_string(out.status));
+  if (mon) {
+    r.report += strf(
+        "  health: %llu windows, %llu trips / %llu clears, %llu active "
+        "(%s)\n",
+        static_cast<unsigned long long>(mon->windows()),
+        static_cast<unsigned long long>(mon->trips()),
+        static_cast<unsigned long long>(mon->clears()),
+        static_cast<unsigned long long>(mon->active()),
+        health_path.c_str());
+  }
 
   if (tel != nullptr) {
     tel->timeline.record(
@@ -815,8 +861,15 @@ TrialOut serve_core(const Args& a, std::uint64_t seed,
   svc::CertifyConfig ccfg;
   ccfg.throughput_margin = a.get_f64("certify-margin", 0.10);
   ccfg.sojourn_multiple = a.get_f64("certify-sojourn", 3.0);
-  const svc::SoakVerdict v =
-      svc::certify_soak(out, lambda, mu, w.setup.tree.depth, ccfg);
+  svc::HealthSummary hsum;
+  if (mon) {
+    hsum.windows = mon->windows();
+    hsum.trips = mon->trips();
+    hsum.clears = mon->clears();
+    hsum.active = mon->active();
+  }
+  const svc::SoakVerdict v = svc::certify_soak(
+      out, lambda, mu, w.setup.tree.depth, ccfg, mon ? &hsum : nullptr);
   r.report += strf(
       "  certify: %s (throughput %s %.4f vs floor %.4f; sojourn %s %.2f vs "
       "bound %.2f; exactly-once %s; queues %s)\n",
@@ -824,6 +877,10 @@ TrialOut serve_core(const Args& a, std::uint64_t seed,
       v.delivered_rate, v.throughput_floor, v.sojourn_ok ? "ok" : "FAIL",
       v.sojourn_mean, v.sojourn_bound, v.exactly_once_ok ? "ok" : "FAIL",
       v.queues_bounded ? "ok" : "FAIL");
+  if (v.health_checked)
+    r.report += strf("  certify health: %s (%llu alert trips)\n",
+                     v.health_ok ? "ok" : "FAIL",
+                     static_cast<unsigned long long>(v.health.trips));
   const std::string soak_path = a.get("soak-out", "");
   if (!soak_path.empty()) {
     require(v.write_json_file(soak_path),
@@ -844,6 +901,9 @@ int cmd_serve(const Args& a) {
   require(!(a.has("soak-out") && a.get_u64("trials", 1) > 1),
           "--soak-out is incompatible with --trials: one verdict file "
           "cannot hold independent soaks");
+  require(!(a.has("health-out") && a.get_u64("trials", 1) > 1),
+          "--health-out is incompatible with --trials: one health stream "
+          "cannot interleave independent phase clocks");
   return run_cmd(a, serve_core);
 }
 
@@ -905,6 +965,13 @@ int cmd_ethernet(const Args& a) {
 int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
   try {
+    // The health monitor paces on service phases, which only serve has;
+    // everywhere else the flags would be silent no-ops, so hard-error.
+    if (a.command != "serve")
+      for (const char* f : {"health-out", "alert-rules", "health-window"})
+        require(!a.has(f), std::string("--") + f +
+                               " requires the serve command: the health "
+                               "monitor paces on service phases");
     if (a.command == "topo") return cmd_topo(a);
     if (a.command == "setup") return cmd_setup(a);
     if (a.command == "flood") return cmd_flood(a);
