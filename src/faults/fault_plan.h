@@ -36,16 +36,18 @@
 
 #include <cstdint>
 
+#include "support/rng_tags.h"
+
 namespace radiomc {
 
 /// Open-ended fault window end.
 inline constexpr std::uint64_t kNoSlotLimit = ~0ULL;
 
-/// Split tag under which run drivers derive a fault-schedule seed from
-/// their master stream. Large so it can never collide with the small
-/// per-station tags (`master.split(v)`), and drawn only when a plan is
-/// active — fault-free runs consume exactly the historical stream.
-inline constexpr std::uint64_t kFaultStreamTag = 0xFA5EED00ULL;
+// The split tag under which run drivers derive a fault-schedule seed from
+// their master stream is `rng_tags::kFaultStream` (support/rng_tags.h):
+// large so it can never collide with the small per-station tags
+// (`master.split(v)`), and drawn only when a plan is active — fault-free
+// runs consume exactly the historical stream.
 
 struct FaultPlan {
   double crash_rate = 0.0;     ///< per node per epoch, in [0, 1]

@@ -6,19 +6,15 @@
 #include <vector>
 
 #include "support/rng.h"
+#include "support/rng_tags.h"
 
 namespace radiomc {
 
 namespace {
 
-// Fixed split tags, one per fault kind. Large constants so they cannot
+// Fixed split tags, one per fault kind, live in support/rng_tags.h
+// (registry constants kFaultCrash..kFaultDrop): large so they cannot
 // collide with the small per-node tags protocols feed to `master.split(v)`.
-constexpr std::uint64_t kCrashTag = 0xFA170001ULL;
-constexpr std::uint64_t kRecoverTag = 0xFA170002ULL;
-constexpr std::uint64_t kLinkDownTag = 0xFA170003ULL;
-constexpr std::uint64_t kLinkUpTag = 0xFA170004ULL;
-constexpr std::uint64_t kJamTag = 0xFA170005ULL;
-constexpr std::uint64_t kDropTag = 0xFA170006ULL;
 
 /// Pure stateless draw in [0, 1): a splitmix64 finalization of
 /// (key, entity, time). Query-order independent by construction.
@@ -48,12 +44,12 @@ FaultSchedule::FaultSchedule(const Graph& g, const FaultPlan& plan,
   // Per-kind keys, derived in a fixed order (Rng::split mutates the
   // parent, so the order is part of the determinism contract).
   Rng root(seed);
-  crash_key_ = root.split(kCrashTag).next();
-  recover_key_ = root.split(kRecoverTag).next();
-  link_down_key_ = root.split(kLinkDownTag).next();
-  link_up_key_ = root.split(kLinkUpTag).next();
-  jam_key_ = root.split(kJamTag).next();
-  drop_key_ = root.split(kDropTag).next();
+  crash_key_ = root.split(rng_tags::kFaultCrash).next();
+  recover_key_ = root.split(rng_tags::kFaultRecover).next();
+  link_down_key_ = root.split(rng_tags::kFaultLinkDown).next();
+  link_up_key_ = root.split(rng_tags::kFaultLinkUp).next();
+  jam_key_ = root.split(rng_tags::kFaultJam).next();
+  drop_key_ = root.split(rng_tags::kFaultDrop).next();
 
   if (plan_.crash_rate > 0.0)
     alive_.assign(g.num_nodes(), std::uint8_t{1});

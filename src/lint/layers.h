@@ -1,0 +1,75 @@
+#pragma once
+
+// Layer-DAG analysis for radiomc_lint.
+//
+// A checked-in manifest (`.lint-layers` at the repo root) declares the
+// architecture as data: named layers mapped to directories, and the
+// include edges the design permits between them. The analysis then holds
+// the *actual* include graph (stage-one facts) against the declaration:
+//
+//   * the declared edge graph must be acyclic — a cycle in the manifest
+//     means the architecture itself is circular, reported with the path;
+//   * every cross-layer quoted #include must ride a declared edge;
+//   * every linted file must belong to a declared layer once it includes
+//     across directories.
+//
+// This generalizes the three ad-hoc include rules of PR 5/6
+// (`engine-include`, `analysis-offline`, `perf-purity-include`), which
+// remain as sharper, message-specific checks for their zones.
+//
+// Manifest grammar (line oriented, `#` comments):
+//
+//   layer <name> <dir> [<dir>...]
+//   allow <from> -> <to>
+//
+// Parse errors are reported as unwaivable findings against the manifest
+// file itself, with line numbers.
+
+#include <string>
+#include <vector>
+
+#include "lint/facts.h"
+#include "lint/rules.h"
+
+namespace radiomc::lint {
+
+struct LayerDecl {
+  std::string name;
+  std::vector<std::string> dirs;
+  int line = 0;
+};
+
+struct LayerEdge {
+  std::string from;
+  std::string to;
+  int line = 0;
+};
+
+struct LayerParseError {
+  int line = 0;
+  std::string message;
+};
+
+struct LayerManifest {
+  std::vector<LayerDecl> layers;
+  std::vector<LayerEdge> edges;
+  std::vector<LayerParseError> errors;
+};
+
+/// Parses manifest text. Never throws; syntax problems land in `errors`
+/// with specific messages (unknown directive, redeclared layer, malformed
+/// allow, undeclared layer reference, duplicate edge).
+LayerManifest parse_layer_manifest(const std::string& text);
+
+/// Runs the layer-dag analysis: manifest errors (unwaivable, reported
+/// against `manifest_name`), declared-graph cycles, undeclared cross-layer
+/// include edges (reported at the include line), and unmapped files.
+std::vector<Finding> check_layers(const LayerManifest& manifest,
+                                  const std::string& manifest_name,
+                                  const FactsDb& facts);
+
+/// The layer a path belongs to, by longest matching declared directory;
+/// empty if none match.
+std::string layer_of(const LayerManifest& manifest, std::string_view path);
+
+}  // namespace radiomc::lint

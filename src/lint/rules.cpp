@@ -4,36 +4,17 @@
 #include <map>
 #include <set>
 
+#include "lint/facts.h"
+#include "lint/layers.h"
 #include "lint/lexer.h"
+#include "lint/semantic.h"
 
 namespace radiomc::lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Path helpers. Rules match directory suffixes so the tool works whether it
-// is handed absolute paths, repo-relative paths, or fixture names.
-// ---------------------------------------------------------------------------
-
-/// True iff `path` contains `dir` as a complete path-component prefix
-/// somewhere, e.g. in_dir("/root/repo/src/protocols/x.cpp", "src/protocols").
-bool in_dir(std::string_view path, std::string_view dir) {
-  std::string needle = std::string(dir) + "/";
-  for (std::size_t pos = path.find(needle); pos != std::string_view::npos;
-       pos = path.find(needle, pos + 1)) {
-    if (pos == 0 || path[pos - 1] == '/') return true;
-  }
-  return false;
-}
-
-std::string_view basename_of(std::string_view path) {
-  const std::size_t slash = path.find_last_of('/');
-  return slash == std::string_view::npos ? path : path.substr(slash + 1);
-}
-
-bool is_header(std::string_view path) {
-  return path.ends_with(".h") || path.ends_with(".hpp");
-}
+// Path helpers (in_dir / basename_of / is_header) live in lint/facts.h
+// since PR 10 so every pass shares one copy.
 
 bool is_rng_support(std::string_view path) {
   const std::string_view base = basename_of(path);
@@ -192,13 +173,6 @@ const std::set<std::string_view> kUnorderedTypes = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
 
-bool in_deterministic_zone(std::string_view path) {
-  return in_dir(path, "src/protocols") || in_dir(path, "src/faults") ||
-         in_dir(path, "src/radio") || in_dir(path, "src/telemetry") ||
-         in_dir(path, "src/support") || in_dir(path, "src/service") ||
-         in_dir(path, "src/health");
-}
-
 void rule_unordered_container(const LexedFile& f, std::vector<Finding>* out) {
   if (!in_deterministic_zone(f.path)) return;
   for (const Token& t : f.tokens) {
@@ -215,6 +189,11 @@ void rule_unordered_container(const LexedFile& f, std::vector<Finding>* out) {
 
 // ---------------------------------------------------------------------------
 // model-purity / engine-include + analysis-offline
+//
+// These remain as sharper, message-specific checks for their zones; the
+// layer-dag analysis (lint/layers.h) covers the whole tree against the
+// declared `.lint-layers` manifest. All three consume the shared include
+// facts — no re-lex per rule.
 // ---------------------------------------------------------------------------
 
 /// The radio/ surface a protocol *header* may see. Stations are the model:
@@ -230,20 +209,22 @@ const std::set<std::string_view> kProtocolRadioAllowlist = {
     // the engine-side container (radio/active_set.h) stays forbidden.
     "radio/waker.h"};
 
-void rule_engine_include(const LexedFile& f, std::vector<Finding>* out) {
+void rule_engine_include(const FileFacts& f, std::vector<Finding>* out) {
   if (!in_dir(f.path, "src/protocols") || !is_header(f.path)) return;
   for (const IncludeDirective& inc : f.includes) {
     if (inc.angled || !inc.path.starts_with("radio/")) continue;
     if (kProtocolRadioAllowlist.count(std::string_view(inc.path))) continue;
-    report(out, "engine-include", f, inc.line,
-           "protocol header includes \"" + inc.path +
-               "\": station declarations may touch the channel only via "
-               "radio/station.h / radio/schedule.h; engine access "
-               "(RadioNetwork) belongs in the driver .cpp");
+    out->push_back({"engine-include", f.path, inc.line,
+                    "protocol header includes \"" + inc.path +
+                        "\": station declarations may touch the channel only "
+                        "via radio/station.h / radio/schedule.h; engine "
+                        "access (RadioNetwork) belongs in the driver .cpp",
+                    false,
+                    {}});
   }
 }
 
-void rule_analysis_offline(const LexedFile& f, std::vector<Finding>* out) {
+void rule_analysis_offline(const FileFacts& f, std::vector<Finding>* out) {
   if (!(in_dir(f.path, "src/protocols") || in_dir(f.path, "src/radio") ||
         in_dir(f.path, "src/faults") || in_dir(f.path, "src/baselines") ||
         in_dir(f.path, "src/telemetry") || in_dir(f.path, "src/service") ||
@@ -251,11 +232,14 @@ void rule_analysis_offline(const LexedFile& f, std::vector<Finding>* out) {
     return;
   for (const IncludeDirective& inc : f.includes) {
     if (!inc.angled && inc.path.starts_with("analysis/")) {
-      report(out, "analysis-offline", f, inc.line,
-             "includes \"" + inc.path +
-                 "\": the trace auditor is offline-only — protocols and the "
-                 "engine must never see src/analysis/, or a protocol could "
-                 "base decisions on its own flight recorder");
+      out->push_back({"analysis-offline", f.path, inc.line,
+                      "includes \"" + inc.path +
+                          "\": the trace auditor is offline-only — protocols "
+                          "and the engine must never see src/analysis/, or a "
+                          "protocol could base decisions on its own flight "
+                          "recorder",
+                      false,
+                      {}});
     }
   }
 }
@@ -272,7 +256,7 @@ void rule_analysis_offline(const LexedFile& f, std::vector<Finding>* out) {
 // measured nanosecond cannot flow into an Rng or a transmit decision.
 // ---------------------------------------------------------------------------
 
-void rule_perf_purity_include(const LexedFile& f, std::vector<Finding>* out) {
+void rule_perf_purity_include(const FileFacts& f, std::vector<Finding>* out) {
   // Protocol/baseline *headers* describe the model; src/radio and
   // src/faults are the deterministic apparatus under measurement. Driver
   // .cpp files in src/protocols may include perf/profiler.h to place
@@ -287,14 +271,17 @@ void rule_perf_purity_include(const LexedFile& f, std::vector<Finding>* out) {
   for (const IncludeDirective& inc : f.includes) {
     if (inc.angled) continue;
     if (inc.path.starts_with("perf/") || inc.path == "support/stopwatch.h") {
-      report(out, "perf-purity-include", f, inc.line,
-             "includes \"" + inc.path +
-                 "\": the measurement layer must stay invisible to " +
-                 (model_header ? "protocol headers (forward-declare "
-                                 "perf::Profiler instead; only driver .cpp "
-                                 "files may include it)"
-                               : "the engine (src/radio and src/faults "
-                                 "never time themselves)"));
+      out->push_back(
+          {"perf-purity-include", f.path, inc.line,
+           "includes \"" + inc.path +
+               "\": the measurement layer must stay invisible to " +
+               (model_header ? "protocol headers (forward-declare "
+                               "perf::Profiler instead; only driver .cpp "
+                               "files may include it)"
+                             : "the engine (src/radio and src/faults "
+                               "never time themselves)"),
+           false,
+           {}});
     }
   }
 }
@@ -319,177 +306,6 @@ void rule_perf_purity_flow(const LexedFile& f, std::vector<Finding>* out) {
                  "where simulation decisions are made — keep timing values "
                  "in src/perf/ and the drivers' write-only Profiler calls");
     }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// telemetry / hub-null-check
-// ---------------------------------------------------------------------------
-
-const std::set<std::string_view> kHubPointerTypes = {
-    "TelemetryHub", "TraceSink", "Profiler", "SlotHook"};
-
-/// Names declared anywhere in the scanned set as `TelemetryHub* x = nullptr`
-/// or `TraceSink* x = nullptr` — the optional-observability config-field
-/// idiom. Dereferences of fields with these names must be null-guarded.
-std::set<std::string> collect_hub_fields(const std::vector<LexedFile>& files) {
-  std::set<std::string> names;
-  for (const LexedFile& f : files) {
-    for (std::size_t i = 0; i + 4 < f.tokens.size(); ++i) {
-      if (f.tokens[i].kind == Token::Kind::kIdent &&
-          kHubPointerTypes.count(f.tokens[i].text) &&
-          is_punct(f.tokens[i + 1], "*") &&
-          f.tokens[i + 2].kind == Token::Kind::kIdent &&
-          is_punct(f.tokens[i + 3], "=") &&
-          is_ident(f.tokens[i + 4], "nullptr")) {
-        names.insert(f.tokens[i + 2].text);
-      }
-    }
-  }
-  return names;
-}
-
-struct HubCheckState {
-  std::set<std::string> hub_names;  ///< effective pointer names for this file
-  std::vector<std::set<std::string>> guard_frames;  ///< per function body
-};
-
-void rule_hub_null_check(const LexedFile& f,
-                         const std::set<std::string>& global_fields,
-                         std::vector<Finding>* out) {
-  if (!in_dir(f.path, "src") && !in_dir(f.path, "tools")) return;
-
-  HubCheckState st;
-  st.hub_names = global_fields;
-  // Local declarations (params, locals, fields) of the hub pointer types
-  // count even without `= nullptr`; a declaration of the same name with a
-  // *different* pointer type shadows the global field name for this file
-  // (e.g. a parser whose `trace` member is a Trace*, not a TraceSink*).
-  for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
-    if (f.tokens[i].kind != Token::Kind::kIdent ||
-        !is_punct(f.tokens[i + 1], "*") ||
-        f.tokens[i + 2].kind != Token::Kind::kIdent)
-      continue;
-    const std::string& type = f.tokens[i].text;
-    const std::string& name = f.tokens[i + 2].text;
-    if (kHubPointerTypes.count(type)) {
-      st.hub_names.insert(name);
-    } else if (i + 3 < f.tokens.size()) {
-      const Token& after = f.tokens[i + 3];
-      if (is_punct(after, ";") || is_punct(after, "=") ||
-          is_punct(after, ",") || is_punct(after, ")"))
-        st.hub_names.erase(name);
-    }
-  }
-  if (st.hub_names.empty()) return;
-
-  const auto& tok = f.tokens;
-  std::vector<int> body_depth_stack;  // brace depth at each function entry
-  int depth = 0;
-  const auto guards = [&]() -> std::set<std::string>* {
-    return st.guard_frames.empty() ? nullptr : &st.guard_frames.back();
-  };
-  const auto guarded = [&](const std::string& path) {
-    for (const auto& frame : st.guard_frames)
-      if (frame.count(path)) return true;
-    return false;
-  };
-
-  for (std::size_t i = 0; i < tok.size(); ++i) {
-    const Token& t = tok[i];
-    if (is_punct(t, "{")) {
-      // A `{` preceded by `)` (skipping cv/ref/exception suffixes) opens a
-      // function or lambda body: fresh guard frame.
-      std::size_t j = i;
-      while (j > 0) {
-        const Token& p = tok[j - 1];
-        if (p.kind == Token::Kind::kIdent &&
-            (p.text == "const" || p.text == "noexcept" ||
-             p.text == "override" || p.text == "final" ||
-             p.text == "mutable" || p.text == "try"))
-          --j;
-        else
-          break;
-      }
-      ++depth;
-      if (j > 0 && is_punct(tok[j - 1], ")")) {
-        st.guard_frames.emplace_back();
-        body_depth_stack.push_back(depth);
-      }
-      continue;
-    }
-    if (is_punct(t, "}")) {
-      if (!body_depth_stack.empty() && body_depth_stack.back() == depth) {
-        body_depth_stack.pop_back();
-        st.guard_frames.pop_back();
-      }
-      --depth;
-      continue;
-    }
-    if (t.kind != Token::Kind::kIdent) continue;
-    if (i > 0 && (is_punct(tok[i - 1], ".") || is_punct(tok[i - 1], "->") ||
-                  is_punct(tok[i - 1], "::")))
-      continue;  // not the head of a chain
-
-    // Walk the access chain a.b->c..., checking each -> dereference.
-    std::string path = t.text;
-    std::string last = t.text;
-    std::size_t j = i;
-    while (j + 2 < tok.size() &&
-           (is_punct(tok[j + 1], ".") || is_punct(tok[j + 1], "->")) &&
-           tok[j + 2].kind == Token::Kind::kIdent) {
-      if (is_punct(tok[j + 1], "->") && st.hub_names.count(last) &&
-          !guarded(path)) {
-        report(out, "hub-null-check", f, tok[j + 1].line,
-               "unchecked dereference of optional telemetry/trace pointer "
-               "'" + path +
-                   "': guard with `if (" + path +
-                   " != nullptr)` so instrumentation stays optional");
-        if (guards()) guards()->insert(path);  // one finding per site
-      }
-      path += tok[j + 1].text;
-      last = tok[j + 2].text;
-      path += last;
-      j += 2;
-    }
-
-    // `*chain` unary dereference (e.g. `Telemetry& tel = *cfg.telemetry;`).
-    if (st.hub_names.count(last) && i > 0 && is_punct(tok[i - 1], "*")) {
-      const bool unary =
-          i < 2 || tok[i - 2].kind == Token::Kind::kPunct ||
-          is_ident(tok[i - 2], "return");
-      if (unary && !(i >= 2 && is_punct(tok[i - 2], ")")) && !guarded(path)) {
-        report(out, "hub-null-check", f, tok[i - 1].line,
-               "unchecked dereference of optional telemetry/trace pointer "
-               "'*" + path +
-                   "': guard with `if (" + path + " != nullptr)`");
-        if (guards()) guards()->insert(path);
-      }
-    }
-
-    // Guard registration: any null comparison, `if (p)`, `!p`, or `p &&`.
-    if (st.hub_names.count(last) && guards() != nullptr) {
-      const Token* next = j + 1 < tok.size() ? &tok[j + 1] : nullptr;
-      const Token* prev = i > 0 ? &tok[i - 1] : nullptr;
-      bool guard = false;
-      if (next != nullptr &&
-          (is_punct(*next, "!=") || is_punct(*next, "==")) &&
-          j + 2 < tok.size() && is_ident(tok[j + 2], "nullptr"))
-        guard = true;
-      if (prev != nullptr && (is_punct(*prev, "!=") || is_punct(*prev, "==")))
-        guard = true;  // nullptr == p
-      if (prev != nullptr && is_punct(*prev, "!")) guard = true;
-      if (prev != nullptr && is_punct(*prev, "(") && i >= 2 &&
-          (is_ident(tok[i - 2], "if") || is_ident(tok[i - 2], "while")) &&
-          next != nullptr && is_punct(*next, ")"))
-        guard = true;
-      if ((next != nullptr && is_punct(*next, "&&")) ||
-          (prev != nullptr && is_punct(*prev, "&&")))
-        guard = true;
-      if (guard) guards()->insert(path);
-    }
-
-    i = j;  // skip the consumed chain
   }
 }
 
@@ -641,20 +457,30 @@ const std::vector<RuleInfo> kCatalog = {
     {"unordered-container", "determinism",
      "unordered_{map,set} in protocols/faults/radio/telemetry/support/"
      "service/health"},
+    {"rng-stream-audit", "determinism",
+     "global Rng::split tag inventory: same-parent duplicate tags, bare "
+     "literal tags, call-computed tags, fixed-literal-seed Rng"},
     {"engine-include", "model-purity",
      "protocol headers reaching past radio/station.h + schedule.h"},
     {"analysis-offline", "model-purity",
      "src/analysis/ included from protocols, radio, faults or telemetry"},
+    {"layer-dag", "model-purity",
+     "full include graph vs the declared .lint-layers DAG: undeclared "
+     "cross-layer edges, manifest errors, declared-graph cycles"},
     {"perf-purity-include", "perf-purity",
      "perf/ or support/stopwatch.h seen from model headers or the engine"},
     {"perf-purity-flow", "perf-purity",
      "timing-value identifiers (Stopwatch, elapsed_ns, ...) in model code"},
     {"hub-null-check", "telemetry",
-     "unguarded dereference of optional TelemetryHub*/TraceSink*/Profiler*"},
+     "unguarded dereference of optional TelemetryHub*/TraceSink*/Profiler* "
+     "(flow-aware: per-branch guards, early-return promotion)"},
     {"trace-kind-table", "telemetry",
      "jsonl_sink.cpp `ev` kinds vs the trace_event.h kind table"},
     {"switch-default", "exhaustiveness",
      "default: on switches over RunStatus / MsgKind / EvKind"},
+    {"shard-safety", "sharding",
+     "every RadioNetwork/ActiveSet member touched in the slot loop is "
+     "classified shard-local / barrier-mergeable / order-sensitive"},
     {"unused-waiver", "hygiene",
      "radiomc-lint: allow(...) comment that suppresses nothing"},
 };
@@ -670,22 +496,38 @@ std::size_t count_unwaived(const std::vector<Finding>& findings) {
   return n;
 }
 
-std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
-                               const LintOptions& opt) {
+AnalysisResult run_analyses(const std::vector<SourceFile>& files,
+                            const LintOptions& opt) {
   std::set<std::string> selected(opt.only_rules.begin(),
                                  opt.only_rules.end());
   const auto enabled = [&](std::string_view id) {
     return selected.empty() || selected.count(std::string(id)) != 0;
   };
 
+  // Stage one: each file is tokenized exactly once; the facts pass runs
+  // over those token streams once for all rules.
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
   for (const SourceFile& f : files)
     lexed.push_back(lex_source(f.path, f.content));
+  FactsDb facts = build_facts(lexed);
 
-  std::vector<Finding> findings;
-  const std::set<std::string> hub_fields = collect_hub_fields(lexed);
-  for (const LexedFile& f : lexed) {
+  AnalysisResult result;
+  result.files_scanned = files.size();
+  std::vector<Finding>& findings = result.findings;
+
+  // Cross-TU optional-hook field set, from facts.
+  std::set<std::string> hub_fields;
+  for (const FileFacts& f : facts.files) {
+    for (const PointerFieldFact& p : f.pointer_fields) {
+      if (p.null_default && is_hub_pointer_type(p.type))
+        hub_fields.insert(p.name);
+    }
+  }
+
+  for (std::size_t i = 0; i < lexed.size(); ++i) {
+    const LexedFile& f = lexed[i];
+    const FileFacts& ff = facts.files[i];
     if (enabled("no-raw-random") || enabled("no-wall-clock")) {
       std::vector<Finding> both;
       rule_banned_idents(f, &both);
@@ -693,19 +535,40 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
         if (enabled(fi.rule)) findings.push_back(std::move(fi));
     }
     if (enabled("unordered-container")) rule_unordered_container(f, &findings);
-    if (enabled("engine-include")) rule_engine_include(f, &findings);
-    if (enabled("analysis-offline")) rule_analysis_offline(f, &findings);
+    if (enabled("engine-include")) rule_engine_include(ff, &findings);
+    if (enabled("analysis-offline")) rule_analysis_offline(ff, &findings);
     if (enabled("perf-purity-include"))
-      rule_perf_purity_include(f, &findings);
+      rule_perf_purity_include(ff, &findings);
     if (enabled("perf-purity-flow")) rule_perf_purity_flow(f, &findings);
     if (enabled("hub-null-check"))
-      rule_hub_null_check(f, hub_fields, &findings);
+      analyze_hub_null_check(f, hub_fields, &findings);
     if (enabled("switch-default")) rule_switch_default(f, &findings);
   }
   if (enabled("trace-kind-table")) rule_trace_kind_table(lexed, &findings);
 
+  // Stage two: the cross-TU semantic analyses.
+  if (enabled("rng-stream-audit")) {
+    analyze_rng_streams(facts, &findings, &result.rng_tags);
+    result.split_sites = count_split_sites(facts);
+  }
+  if (enabled("shard-safety")) {
+    analyze_shard_safety(facts, &findings, &result.shard_safety);
+  }
+  if (enabled("layer-dag") && !opt.layers_manifest.empty()) {
+    LayerManifest manifest = parse_layer_manifest(opt.layers_manifest);
+    result.layers_declared = manifest.layers.size();
+    result.layer_edges_declared = manifest.edges.size();
+    auto layer_findings =
+        check_layers(manifest, opt.layers_manifest_name, facts);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(layer_findings.begin()),
+                    std::make_move_iterator(layer_findings.end()));
+  }
+  result.facts = std::move(facts);
+
   // Waiver application: a waiver on line L covers findings of its rule on
-  // lines L and L+1 of the same file.
+  // lines L and L+1 of the same file. (Manifest findings never match a
+  // lexed file, so they are unwaivable by construction.)
   std::set<std::string> known_rules;
   for (const RuleInfo& r : kCatalog) known_rules.insert(std::string(r.id));
   for (const LexedFile& f : lexed) {
@@ -744,7 +607,12 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
-  return findings;
+  return result;
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const LintOptions& opt) {
+  return run_analyses(files, opt).findings;
 }
 
 }  // namespace radiomc::lint

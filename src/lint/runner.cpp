@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "lint/facts.h"  // json_escape
+
 namespace radiomc::lint {
 
 namespace fs = std::filesystem;
@@ -29,29 +31,6 @@ std::string read_file(const fs::path& p) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return std::move(ss).str();
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -96,12 +75,11 @@ void print_findings(std::ostream& os, const std::vector<Finding>& findings,
   }
 }
 
-void write_json_report(std::ostream& os, const std::vector<Finding>& findings,
-                       std::size_t files_scanned) {
+void write_json_report(std::ostream& os, const AnalysisResult& result,
+                       double wall_ms) {
+  const std::vector<Finding>& findings = result.findings;
   const std::size_t unwaived = count_unwaived(findings);
-  os << "{\"schema\":\"radiomc.lint/v1\",\"files_scanned\":" << files_scanned
-     << ",\"total\":" << findings.size() << ",\"unwaived\":" << unwaived
-     << ",\"findings\":[";
+  os << "{\"schema\":\"radiomc.lint/v2\",\"findings\":[";
   bool first = true;
   for (const Finding& f : findings) {
     if (!first) os << ',';
@@ -114,7 +92,39 @@ void write_json_report(std::ostream& os, const std::vector<Finding>& findings,
       os << ",\"reason\":\"" << json_escape(f.waiver_reason) << "\"";
     os << '}';
   }
-  os << "]}\n";
+  os << "],\"shard_safety\":[";
+  first = true;
+  for (const ShardSafetyRow& r : result.shard_safety) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"owner\":\"" << json_escape(r.owner) << "\",\"member\":\""
+       << json_escape(r.member) << "\",\"access\":\"" << json_escape(r.access)
+       << "\",\"class\":\"" << json_escape(r.classification)
+       << "\",\"rationale\":\"" << json_escape(r.rationale) << "\",\"file\":\""
+       << json_escape(r.file) << "\",\"line\":" << r.line
+       << ",\"sites\":" << r.sites << '}';
+  }
+  os << "],\"rng_streams\":{\"split_sites\":" << result.split_sites
+     << ",\"tags\":[";
+  first = true;
+  for (const TagInventoryEntry& t : result.rng_tags) {
+    if (!first) os << ',';
+    first = false;
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "0x%llx",
+                  static_cast<unsigned long long>(t.value));
+    os << "{\"name\":\"" << json_escape(t.name) << "\",\"value\":\"" << hex
+       << "\",\"file\":\"" << json_escape(t.file) << "\",\"line\":" << t.line
+       << '}';
+  }
+  os << "]},\"layers\":{\"declared\":" << result.layers_declared
+     << ",\"edges\":" << result.layer_edges_declared << '}';
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.3f", wall_ms);
+  os << ",\"footer\":{\"files_scanned\":" << result.files_scanned
+     << ",\"total\":" << findings.size() << ",\"unwaived\":" << unwaived
+     << ",\"waived\":" << findings.size() - unwaived
+     << ",\"wall_ms\":" << wall << "}}\n";
 }
 
 }  // namespace radiomc::lint

@@ -2,7 +2,7 @@
 
 // Filesystem front end for radiomc_lint: loads a source tree into
 // SourceFiles and renders findings as text or as the
-// `radiomc.lint/v1` JSON report CI uploads.
+// `radiomc.lint/v2` JSON report CI uploads.
 
 #include <iosfwd>
 #include <string>
@@ -24,8 +24,12 @@ std::vector<SourceFile> load_tree(const std::vector<std::string>& roots);
 void print_findings(std::ostream& os, const std::vector<Finding>& findings,
                     bool show_waived);
 
-/// The machine-readable report (schema "radiomc.lint/v1").
-void write_json_report(std::ostream& os, const std::vector<Finding>& findings,
-                       std::size_t files_scanned);
+/// The machine-readable report (schema "radiomc.lint/v2"): findings plus
+/// the shard_safety and rng_streams sections and a footer with scan
+/// counts and wall time. `wall_ms` is measured by the caller (the CLI) —
+/// src/lint itself never reads a clock, the same discipline the
+/// no-wall-clock rule enforces on src/.
+void write_json_report(std::ostream& os, const AnalysisResult& result,
+                       double wall_ms);
 
 }  // namespace radiomc::lint

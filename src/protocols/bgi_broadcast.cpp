@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "radio/network.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -98,7 +99,7 @@ BgiOutcome run_bgi_broadcast(const Graph& g, NodeId source,
   RadioNetwork net(g);
   FaultSchedule fsch;
   if (faults.any()) {
-    fsch = FaultSchedule(g, faults, master.split(kFaultStreamTag).next());
+    fsch = FaultSchedule(g, faults, master.split(rng_tags::kFaultStream).next());
     net.set_faults(&fsch);
   }
   net.attach(std::move(ptrs));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "perf/profiler.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -100,7 +101,7 @@ BroadcastService::BroadcastService(const Graph& g, const BfsTree& tree,
   if (cfg.slot_hook != nullptr) net_->set_slot_hook(cfg.slot_hook);
   if (cfg.faults.any()) {
     faults_ = std::make_unique<FaultSchedule>(
-        g, cfg.faults, master.split(kFaultStreamTag).next());
+        g, cfg.faults, master.split(rng_tags::kFaultStream).next());
     net_->set_faults(faults_.get());
   }
   net_->attach(std::move(ptrs));

@@ -4,6 +4,7 @@
 
 #include "perf/profiler.h"
 #include "radio/network.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -216,7 +217,7 @@ CollectionOutcome run_collection(const Graph& g, const BfsTree& tree,
   if (cfg.faults.any()) {
     // Derived after the station splits, and only when a plan is active, so
     // fault-free runs consume exactly the historical stream.
-    faults = FaultSchedule(g, cfg.faults, master.split(kFaultStreamTag).next());
+    faults = FaultSchedule(g, cfg.faults, master.split(rng_tags::kFaultStream).next());
     net.set_faults(&faults);
   }
   net.attach(std::move(ptrs));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -79,7 +80,7 @@ VirtualEthernet::VirtualEthernet(const Graph& g, const BfsTree& tree,
   // unconditional draw here would shift every later consumer).
   if (cfg_.faults.any())
     faults_ = std::make_unique<FaultSchedule>(
-        g, cfg_.faults, master.split(kFaultStreamTag).next());
+        g, cfg_.faults, master.split(rng_tags::kFaultStream).next());
   net_ = std::make_unique<RadioNetwork>(g, ncfg);
   if (faults_) net_->set_faults(faults_.get());
   net_->attach(std::move(ptrs));

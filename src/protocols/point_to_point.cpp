@@ -7,6 +7,7 @@
 
 #include "perf/profiler.h"
 #include "radio/network.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -283,7 +284,7 @@ P2pOutcome run_point_to_point(const Graph& g, const PreparationResult& prep,
   if (cfg.slot_hook != nullptr) net.set_slot_hook(cfg.slot_hook);
   FaultSchedule faults;
   if (cfg.faults.any()) {
-    faults = FaultSchedule(g, cfg.faults, master.split(kFaultStreamTag).next());
+    faults = FaultSchedule(g, cfg.faults, master.split(rng_tags::kFaultStream).next());
     net.set_faults(&faults);
   }
   net.attach(std::move(ptrs));

@@ -7,6 +7,7 @@
 
 #include "protocols/tree.h"
 #include "radio/network.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -114,7 +115,7 @@ RankingOutcome run_ranking(const Graph& g, const PreparationResult& prep,
   RadioNetwork net(g, ncfg);
   FaultSchedule fsch;
   if (faults.any()) {
-    fsch = FaultSchedule(g, faults, master.split(kFaultStreamTag).next());
+    fsch = FaultSchedule(g, faults, master.split(rng_tags::kFaultStream).next());
     net.set_faults(&fsch);
   }
   net.attach(std::move(ptrs));

@@ -7,6 +7,7 @@
 
 #include "perf/profiler.h"
 #include "radio/network.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -41,10 +42,10 @@ class SetupStation final : public Station {
         decay_len_(decay_length(g.max_degree())),
         tuning_(tuning),
         rng_(rng),
-        le_(me, make_leader_cfg(), rng_.split(1)),
-        bfs_(me, make_bfs_cfg(), rng_.split(2)),
-        coll_(me, make_coll_cfg(), rng_.split(3)),
-        flood_g_(decay_len_, rng_.split(4)),
+        le_(me, make_leader_cfg(), rng_.split(rng_tags::kSetupLeader)),
+        bfs_(me, make_bfs_cfg(), rng_.split(rng_tags::kSetupBfs)),
+        coll_(me, make_coll_cfg(), rng_.split(rng_tags::kSetupVerifyCollection)),
+        flood_g_(decay_len_, rng_.split(rng_tags::kSetupFloodG)),
         dfs1_(me, neighbor_vector(g, me)),
         dfs2_(me) {
     coll_.set_root_handler([this](SlotTime t, const Message& m) {
@@ -196,8 +197,8 @@ class SetupStation final : public Station {
     bfs_.reset();
     dfs1_.reset();
     dfs2_.reset();
-    flood_g_.reset(rng_.split(100 + attempt_));
-    coll_.reset(rng_.split(200 + attempt_));
+    flood_g_.reset(rng_.split(rng_tags::kSetupFloodRetryBase + attempt_));
+    coll_.reset(rng_.split(rng_tags::kSetupCollRetryBase + attempt_));
     coll_bound_ = false;
     is_root_ = false;
     reported_join_ = false;
@@ -310,7 +311,7 @@ SetupOutcome run_setup(const Graph& g, std::uint64_t seed, SetupTuning tuning,
   FaultSchedule faults;
   if (tuning.faults.any()) {
     faults =
-        FaultSchedule(g, tuning.faults, master.split(kFaultStreamTag).next());
+        FaultSchedule(g, tuning.faults, master.split(rng_tags::kFaultStream).next());
     net.set_faults(&faults);
   }
   net.attach(std::move(ptrs));

@@ -7,6 +7,7 @@
 #include "perf/profiler.h"
 #include "radio/network.h"
 #include "support/rng.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -47,12 +48,12 @@ SteadyStateOutcome run_collection_steady_state(
   net.attach(std::move(ptrs));
 
   const std::uint64_t slots_per_phase = st[0]->clock().slots_per_phase();
-  Rng arrivals_rng = master.split(0xA221);
+  Rng arrivals_rng = master.split(rng_tags::kSteadyArrival);
   // Derived after the arrival stream so a faulted run faces the identical
   // arrival sequence as a fault-free run with the same seed.
   FaultSchedule fsch;
   if (faults.any()) {
-    fsch = FaultSchedule(g, faults, master.split(kFaultStreamTag).next());
+    fsch = FaultSchedule(g, faults, master.split(rng_tags::kFaultStream).next());
     net.set_faults(&fsch);
   }
 

@@ -2,6 +2,7 @@
 
 #include "protocols/collection.h"
 #include "queueing/tandem.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc::queueing {
@@ -31,7 +32,7 @@ std::uint64_t run_model2(const std::vector<std::uint32_t>& levels,
     require(l >= 1 && l <= depth, "run_model2: level out of range");
     ++sizes[l - 1];  // queue index 0 is level 1 (adjacent to the root)
   }
-  TandemQueue q(depth, mu, rng.split(0x7a4d));
+  TandemQueue q(depth, mu, rng.split(rng_tags::kModel2Tandem));
   q.set_initial(sizes);
   std::uint64_t steps = 0;
   while (q.total_in_system() > 0) {
@@ -63,13 +64,13 @@ std::uint64_t drain_k_arrivals(TandemQueue& q, std::uint64_t k, double lambda,
 
 std::uint64_t run_model3(std::uint64_t k, std::uint32_t depth, double mu,
                          double lambda, Rng& rng) {
-  TandemQueue q(depth, mu, rng.split(0x30d3));
+  TandemQueue q(depth, mu, rng.split(rng_tags::kModel3Tandem));
   return drain_k_arrivals(q, k, lambda, 0, rng);
 }
 
 std::uint64_t run_model4(std::uint64_t k, std::uint32_t depth, double mu,
                          double lambda, Rng& rng) {
-  TandemQueue q(depth, mu, rng.split(0x40d4));
+  TandemQueue q(depth, mu, rng.split(rng_tags::kModel4Tandem));
   q.set_stationary(lambda);
   return drain_k_arrivals(q, k, lambda, q.total_in_system(), rng);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc {
@@ -10,7 +11,7 @@ namespace radiomc {
 RadioNetwork::RadioNetwork(const Graph& g, Config cfg)
     : graph_(&g),
       cfg_(std::move(cfg)),
-      capture_rng_(cfg_.capture_stream ? *cfg_.capture_stream : Rng(0xCA97)) {
+      capture_rng_(cfg_.capture_stream ? *cfg_.capture_stream : Rng(rng_tags::kCaptureFallbackSeed)) {
   require(cfg_.num_channels >= 1, "RadioNetwork: need >= 1 channel");
   require(cfg_.capture_prob >= 0.0 && cfg_.capture_prob <= 1.0,
           "RadioNetwork: capture_prob in [0, 1]");

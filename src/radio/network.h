@@ -94,7 +94,7 @@ class RadioNetwork {
     /// Engine-level randomness used for capture resolution. Drivers derive
     /// it from their master stream via `Rng::split` so parallel trials get
     /// independent capture randomness; unset falls back to a fixed
-    /// historical stream (`Rng(0xCA97)`).
+    /// historical stream (`Rng(rng_tags::kCaptureFallbackSeed)`).
     std::optional<Rng> capture_stream;
   };
 

@@ -11,18 +11,17 @@
 #include "queueing/analysis.h"
 #include "radio/network.h"
 #include "support/rng.h"
+#include "support/rng_tags.h"
 #include "support/util.h"
 
 namespace radiomc::service {
 
 namespace {
 
-/// Dedicated split tags: the arrival batch stream and the placement stream
-/// are independent of each other, of every per-station stream (tags 0..n-1)
-/// and of the fault stream, so changing the arrival law never perturbs
-/// station randomness and vice versa.
-constexpr std::uint64_t kArrivalStreamTag = 0x5E21;
-constexpr std::uint64_t kPlacementStreamTag = 0x5E22;
+// Dedicated split tags (support/rng_tags.h): the arrival batch stream and
+// the placement stream are independent of each other, of every per-station
+// stream (tags 0..n-1) and of the fault stream, so changing the arrival
+// law never perturbs station randomness and vice versa.
 
 std::uint64_t tag_of(const Message& m) {
   return (static_cast<std::uint64_t>(m.origin) << 32) | m.seq;
@@ -106,13 +105,13 @@ ServeOutcome run_service(const Graph& g, const BfsTree& tree,
   net.attach(std::move(ptrs));
 
   const std::uint64_t slots_per_phase = st[0]->clock().slots_per_phase();
-  ArrivalProcess arrivals(cfg.arrival, master.split(kArrivalStreamTag));
-  Rng placement_rng = master.split(kPlacementStreamTag);
+  ArrivalProcess arrivals(cfg.arrival, master.split(rng_tags::kServiceArrival));
+  Rng placement_rng = master.split(rng_tags::kServicePlacement);
   // Derived after the arrival/placement streams so a faulted run faces the
   // identical offered load as a fault-free run with the same seed.
   FaultSchedule fsch;
   if (cfg.faults.any()) {
-    fsch = FaultSchedule(g, cfg.faults, master.split(kFaultStreamTag).next());
+    fsch = FaultSchedule(g, cfg.faults, master.split(rng_tags::kFaultStream).next());
     net.set_faults(&fsch);
   }
 

@@ -1,0 +1,5 @@
+// Seeded CI fixture (never compiled): half of the alpha <-> beta include
+// cycle matching the cyclic manifest next to this tree.
+#include "beta/b.h"
+
+inline int alpha_value() { return beta_value() + 1; }

@@ -1,0 +1,5 @@
+// Seeded CI fixture (never compiled): half of the alpha <-> beta include
+// cycle matching the cyclic manifest next to this tree.
+#include "alpha/a.h"
+
+inline int beta_value() { return 41; }

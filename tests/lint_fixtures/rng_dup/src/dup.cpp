@@ -1,0 +1,13 @@
+// Seeded CI fixture (never compiled): the same split tag drawn twice from
+// one parent stream. The two child Rngs are byte-identical, not
+// independent — rng-stream-audit must flag the second draw and
+// radiomc_lint must exit 1 on this tree. Exercised by the "negative
+// gates" step of the CI lint job.
+constexpr std::uint64_t kSeededDupTag = 0x5E21;
+
+void seeded_duplicate(Rng& master) {
+  Rng a = master.split(kSeededDupTag);
+  Rng b = master.split(kSeededDupTag);
+  (void)a;
+  (void)b;
+}

@@ -12,6 +12,8 @@
 //     zero unwaived findings (the same gate CI enforces).
 
 #include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "lint/lexer.h"
 #include "lint/rules.h"
 #include "lint/runner.h"
+#include "perf/json_value.h"
 #include "radio/message.h"
 #include "telemetry/jsonl_sink.h"
 
@@ -34,6 +37,11 @@ using radiomc::lint::SourceFile;
 std::vector<Finding> Lint(std::vector<SourceFile> files,
                           LintOptions opt = {}) {
   return radiomc::lint::run_rules(files, opt);
+}
+
+radiomc::lint::AnalysisResult Analyze(std::vector<SourceFile> files,
+                                      LintOptions opt = {}) {
+  return radiomc::lint::run_analyses(files, opt);
 }
 
 std::size_t CountRule(const std::vector<Finding>& findings,
@@ -367,6 +375,9 @@ const char kGuardedHub[] =
     "  }\n"
     "}\n";
 
+// Bare hub field declaration for the flow-aware guard tests to build on.
+const char kHubField[] = "struct Cfg { TraceSink* trace = nullptr; };\n";
+
 }  // namespace fixtures
 
 TEST(LintTelemetry, FlagsUnguardedHubDereference) {
@@ -585,12 +596,13 @@ TEST(LintOptionsTest, OnlyRulesRestrictsTheRun) {
   EXPECT_EQ(CountRule(findings, "unordered-container"), 0u);
 }
 
-TEST(LintCatalog, CoversAllSixFamilies) {
+TEST(LintCatalog, CoversAllSevenFamilies) {
   std::vector<std::string> families;
   for (const auto& r : radiomc::lint::rule_catalog())
     families.emplace_back(r.family);
   for (const char* want : {"determinism", "model-purity", "perf-purity",
-                           "telemetry", "exhaustiveness", "hygiene"}) {
+                           "telemetry", "exhaustiveness", "sharding",
+                           "hygiene"}) {
     EXPECT_NE(std::find(families.begin(), families.end(), want),
               families.end())
         << "missing family " << want;
@@ -655,8 +667,418 @@ TEST(TraceKindRoundTrip, TableRejectsUnknownKinds) {
 }
 
 // ---------------------------------------------------------------------------
+// RNG stream audit (semantic, cross-TU).
+// ---------------------------------------------------------------------------
+
+TEST(LintRngAudit, BareLiteralSplitTagIsFlagged) {
+  const auto findings = Lint(
+      {{"src/protocols/x.cpp", "void f(Rng& m) { Rng a = m.split(0x12); }\n"}});
+  ASSERT_EQ(CountRule(findings, "rng-stream-audit"), 1u);
+  EXPECT_NE(findings[0].message.find("bare literal split tag 0x12"),
+            std::string::npos);
+}
+
+TEST(LintRngAudit, NamedConstantTagPassesEvenAcrossFiles) {
+  const auto findings = Lint(
+      {{"src/support/rng_tags.h",
+        "inline constexpr std::uint64_t kX = 0x12;\n"},
+       {"src/protocols/x.cpp",
+        "void f(Rng& m) { Rng a = m.split(rng_tags::kX); }\n"}});
+  EXPECT_EQ(CountRule(findings, "rng-stream-audit"), 0u);
+}
+
+TEST(LintRngAudit, DuplicateTagOnOneParentIsFlaggedAtTheSecondSite) {
+  const auto findings = Lint(
+      {{"src/protocols/x.cpp",
+        "constexpr std::uint64_t kX = 7;\n"
+        "void f(Rng& m) {\n"
+        "  Rng a = m.split(kX);\n"
+        "  Rng b = m.split(kX);\n"
+        "}\n"}});
+  ASSERT_EQ(CountRule(findings, "rng-stream-audit"), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("drawn twice from parent 'm'"),
+            std::string::npos);
+}
+
+TEST(LintRngAudit, SameTagOnDifferentParentsOrFunctionsPasses) {
+  const auto findings = Lint(
+      {{"src/protocols/x.cpp",
+        "constexpr std::uint64_t kX = 7;\n"
+        "void f(Rng& m, Rng& o) { Rng a = m.split(kX); Rng b = o.split(kX); }\n"
+        "void g(Rng& m) { Rng c = m.split(kX); }\n"}});
+  EXPECT_EQ(CountRule(findings, "rng-stream-audit"), 0u);
+}
+
+TEST(LintRngAudit, CallComputedTagIsFlaggedOnlyInDeterministicZones) {
+  const char* body = "void f(Rng& m, int v) { Rng a = m.split(h(v)); }\n";
+  const auto bad = Lint({{"src/protocols/x.cpp", body}});
+  EXPECT_EQ(CountRule(bad, "rng-stream-audit"), 1u);
+  // Pure index arithmetic stays legal (per-entity streams).
+  const auto ok = Lint(
+      {{"src/protocols/y.cpp",
+        "void f(Rng& m, int v) { Rng a = m.split(2 * v + 1); }\n"}});
+  EXPECT_EQ(CountRule(ok, "rng-stream-audit"), 0u);
+  // Offline analysis code is not on a deterministic path.
+  const auto offline = Lint({{"src/analysis/x.cpp", body}});
+  EXPECT_EQ(CountRule(offline, "rng-stream-audit"), 0u);
+}
+
+TEST(LintRngAudit, FixedLiteralSeedRngIsFlaggedOutsideRngSupport) {
+  const auto findings =
+      Lint({{"src/protocols/x.cpp", "void f() { Rng r(42); }\n"}});
+  ASSERT_EQ(CountRule(findings, "rng-stream-audit"), 1u);
+  EXPECT_NE(findings[0].message.find("fixed literal seed 0x2a"),
+            std::string::npos);
+  const auto support = Lint(
+      {{"src/support/rng.cpp", "void f() { Rng r(42); }\n"}});
+  EXPECT_EQ(CountRule(support, "rng-stream-audit"), 0u);
+}
+
+TEST(LintRngAudit, WaiverSuppressesAuditFinding) {
+  const auto findings = Lint(
+      {{"src/protocols/x.cpp",
+        "// radiomc-lint: allow(rng-stream-audit) reason=frozen stream\n"
+        "void f() { Rng r(42); }\n"}});
+  EXPECT_EQ(Unwaived(findings), 0u);
+  EXPECT_EQ(CountRule(findings, "rng-stream-audit", /*waived_only=*/true), 1u);
+}
+
+TEST(LintRngAudit, RegistryValueCollisionIsFlagged) {
+  const auto findings = Lint(
+      {{"src/support/rng_tags.h",
+        "inline constexpr std::uint64_t kA = 0x33;\n"
+        "inline constexpr std::uint64_t kB = 0x33;\n"}});
+  ASSERT_EQ(CountRule(findings, "rng-stream-audit"), 1u);
+  EXPECT_NE(findings[0].message.find("share value 0x33"), std::string::npos);
+  // Distinct values pass; collisions outside the registry are not the
+  // registry's problem (local tags may legitimately reuse small values).
+  const auto ok = Lint(
+      {{"src/support/rng_tags.h",
+        "inline constexpr std::uint64_t kA = 0x33;\n"
+        "inline constexpr std::uint64_t kB = 0x34;\n"},
+       {"src/protocols/x.cpp",
+        "constexpr std::uint64_t kLocal = 0x33;\n"
+        "void f(Rng& m) { Rng a = m.split(kLocal); }\n"}});
+  EXPECT_EQ(CountRule(ok, "rng-stream-audit"), 0u);
+}
+
+TEST(LintRngAudit, InventoryListsRegistryAndUsedTags) {
+  const auto result = Analyze(
+      {{"src/support/rng_tags.h",
+        "inline constexpr std::uint64_t kA = 0x33;\n"},
+       {"src/protocols/x.cpp",
+        "constexpr std::uint64_t kLocal = 0x44;\n"
+        "constexpr std::uint64_t kUnused = 0x55;\n"
+        "void f(Rng& m) { Rng a = m.split(kLocal); }\n"}});
+  std::vector<std::string> names;
+  for (const auto& t : result.rng_tags) names.push_back(t.name);
+  // Registry constants always appear; other constants only when used as a
+  // split tag somewhere.
+  EXPECT_NE(std::find(names.begin(), names.end(), "kA"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "kLocal"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "kUnused"), names.end());
+  EXPECT_EQ(result.split_sites, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Layer DAG (semantic, manifest-driven).
+// ---------------------------------------------------------------------------
+
+LintOptions WithManifest(std::string text) {
+  LintOptions opt;
+  opt.layers_manifest = std::move(text);
+  return opt;
+}
+
+constexpr const char* kTwoLayers =
+    "layer alpha src/alpha\n"
+    "layer beta  src/beta\n"
+    "allow alpha -> beta\n";
+
+TEST(LintLayerDag, DeclaredEdgePassesUndeclaredEdgeFails) {
+  const auto findings = Lint({{"src/alpha/a.h", "#include \"beta/b.h\"\n"},
+                              {"src/beta/b.h", "#include \"alpha/a.h\"\n"}},
+                             WithManifest(kTwoLayers));
+  ASSERT_EQ(CountRule(findings, "layer-dag"), 1u);
+  EXPECT_EQ(findings[0].file, "src/beta/b.h");
+  EXPECT_NE(findings[0].message.find("include edge beta -> alpha"),
+            std::string::npos);
+}
+
+TEST(LintLayerDag, IntraLayerAngledAndUnlayeredIncludesPass) {
+  const auto findings = Lint(
+      {{"src/alpha/a.h",
+        "#include \"alpha/other.h\"\n#include <vector>\n"
+        "#include \"nonlayer/x.h\"\n"}},
+      WithManifest(kTwoLayers));
+  EXPECT_EQ(CountRule(findings, "layer-dag"), 0u);
+}
+
+TEST(LintLayerDag, NoManifestDisablesTheAnalysis) {
+  const auto findings = Lint({{"src/beta/b.h", "#include \"alpha/a.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "layer-dag"), 0u);
+}
+
+TEST(LintLayerDag, FileOutsideEveryLayerIsFlaggedOnce) {
+  const auto findings = Lint(
+      {{"src/gamma/g.h", "#include \"alpha/a.h\"\n#include \"beta/b.h\"\n"}},
+      WithManifest(kTwoLayers));
+  ASSERT_EQ(CountRule(findings, "layer-dag"), 1u);
+  EXPECT_NE(findings[0].message.find("not covered by any layer"),
+            std::string::npos);
+}
+
+TEST(LintLayerDag, DeclaredCycleIsUnwaivable) {
+  LintOptions opt = WithManifest(
+      "layer alpha src/alpha\n"
+      "layer beta  src/beta\n"
+      "allow alpha -> beta\n"
+      "# waiver comments have no power over the manifest itself\n"
+      "allow beta -> alpha\n");
+  const auto findings = Lint({{"src/alpha/a.h", "int x;\n"}}, opt);
+  ASSERT_EQ(CountRule(findings, "layer-dag"), 1u);
+  EXPECT_EQ(findings[0].file, ".lint-layers");
+  EXPECT_FALSE(findings[0].waived);
+  EXPECT_NE(findings[0].message.find("cycle"), std::string::npos);
+  EXPECT_EQ(Unwaived(findings), 1u);
+}
+
+TEST(LintLayerDag, ParseErrorsCarrySpecificMessages) {
+  LintOptions opt = WithManifest(
+      "layer alpha\n"                    // 1: missing directory
+      "layer beta src/beta\n"
+      "layer beta src/beta2\n"           // 3: redeclared
+      "allow beta\n"                     // 4: malformed allow
+      "allow beta -> beta\n"             // 5: self edge
+      "layer delta src/delta\n"
+      "allow beta -> delta\n"
+      "allow beta -> delta\n"            // 8: duplicate edge
+      "allow beta -> ghost\n"            // 9: undeclared layer
+      "frobnicate beta\n");              // 10: unknown directive
+  const auto findings = Lint({{"src/beta/b.h", "int x;\n"}}, opt);
+  const auto has = [&](int line, std::string_view needle) {
+    for (const Finding& f : findings) {
+      if (f.rule == "layer-dag" && f.line == line &&
+          f.message.find(needle) != std::string::npos &&
+          f.file == ".lint-layers")
+        return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(1, "'layer' needs a name and at least one directory"));
+  EXPECT_TRUE(has(3, "layer 'beta' redeclared (first declared on line 2)"));
+  EXPECT_TRUE(has(4, "'allow' needs the form 'allow <from> -> <to>'"));
+  EXPECT_TRUE(has(5, "self edge 'beta -> beta' is implicit"));
+  EXPECT_TRUE(has(8, "edge 'beta -> delta' declared twice"));
+  EXPECT_TRUE(has(9, "allow references undeclared layer 'ghost'"));
+  EXPECT_TRUE(has(10, "unknown directive 'frobnicate'"));
+}
+
+TEST(LintLayerDag, WaiverOnTheIncludeLineWorks) {
+  const auto findings = Lint(
+      {{"src/beta/b.h",
+        "// radiomc-lint: allow(layer-dag) reason=transitional\n"
+        "#include \"alpha/a.h\"\n"}},
+      WithManifest(kTwoLayers));
+  EXPECT_EQ(Unwaived(findings), 0u);
+  EXPECT_EQ(CountRule(findings, "layer-dag", /*waived_only=*/true), 1u);
+}
+
+TEST(LintLayerDag, ReportCountsLayersAndEdges) {
+  const auto result =
+      Analyze({{"src/alpha/a.h", "int x;\n"}}, WithManifest(kTwoLayers));
+  EXPECT_EQ(result.layers_declared, 2u);
+  EXPECT_EQ(result.layer_edges_declared, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Flow-aware hub-null-check (early returns, inverted guards, else branches).
+// ---------------------------------------------------------------------------
+
+TEST(LintTelemetryFlow, EarlyReturnGuardCoversTheRestOfTheScope) {
+  const auto findings = Lint(
+      {{"src/protocols/ok.cpp", fixtures::kHubField +
+            std::string("void f(Cfg& cfg) {\n"
+                        "  if (cfg.trace == nullptr) return;\n"
+                        "  cfg.trace->flush();\n"
+                        "}\n")}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 0u);
+}
+
+TEST(LintTelemetryFlow, NegatedTruthinessEarlyReturnCounts) {
+  const auto findings = Lint(
+      {{"src/protocols/ok.cpp", fixtures::kHubField +
+            std::string("void f(Cfg& cfg) {\n"
+                        "  if (!cfg.trace) return;\n"
+                        "  cfg.trace->flush();\n"
+                        "}\n")}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 0u);
+}
+
+TEST(LintTelemetryFlow, DereferenceInsideInvertedGuardIsFlagged) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp", fixtures::kHubField +
+            std::string("void f(Cfg& cfg) {\n"
+                        "  if (!cfg.trace) { cfg.trace->flush(); }\n"
+                        "}\n")}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 1u);
+}
+
+TEST(LintTelemetryFlow, NonTerminatingNullBranchDoesNotGuardTheTail) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp", fixtures::kHubField +
+            std::string("void f(Cfg& cfg) {\n"
+                        "  if (cfg.trace == nullptr) { int x = 0; (void)x; }\n"
+                        "  cfg.trace->flush();\n"
+                        "}\n")}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 1u);
+}
+
+TEST(LintTelemetryFlow, ElseBranchOfPositiveGuardIsNotGuarded) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp", fixtures::kHubField +
+            std::string("void f(Cfg& cfg) {\n"
+                        "  if (cfg.trace) { cfg.trace->flush(); }\n"
+                        "  else { cfg.trace->flush(); }\n"
+                        "}\n")}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 1u);
+}
+
+TEST(LintTelemetryFlow, GuardScopeEndsWithTheBrace) {
+  const auto findings = Lint(
+      {{"src/protocols/bad.cpp", fixtures::kHubField +
+            std::string("void f(Cfg& cfg) {\n"
+                        "  if (cfg.trace) { cfg.trace->flush(); }\n"
+                        "  cfg.trace->flush();\n"
+                        "}\n")}});
+  EXPECT_EQ(CountRule(findings, "hub-null-check"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-safety report.
+// ---------------------------------------------------------------------------
+
+TEST(LintShardSafety, UnclassifiedSlotLoopMemberIsAFinding) {
+  const auto result = Analyze(
+      {{"src/radio/network.cpp",
+        "void RadioNetwork::step() {\n"
+        "  mystery_ += 1;\n"
+        "  now_ += 1;\n"
+        "}\n"}});
+  ASSERT_EQ(CountRule(result.findings, "shard-safety"), 1u);
+  EXPECT_NE(result.findings[0].message.find("RadioNetwork::mystery_"),
+            std::string::npos);
+  // Both touched members appear as rows; the known one is classified.
+  ASSERT_EQ(result.shard_safety.size(), 2u);
+  bool saw_known = false, saw_unknown = false;
+  for (const auto& r : result.shard_safety) {
+    if (r.member == "now_") {
+      EXPECT_EQ(r.classification, "barrier-mergeable");
+      saw_known = true;
+    }
+    if (r.member == "mystery_") {
+      EXPECT_EQ(r.classification, "unclassified");
+      saw_unknown = true;
+    }
+  }
+  EXPECT_TRUE(saw_known);
+  EXPECT_TRUE(saw_unknown);
+}
+
+TEST(LintShardSafety, ReadOnlyMemberWrittenIsDriftFinding) {
+  const auto result = Analyze(
+      {{"src/radio/network.cpp",
+        "void RadioNetwork::step() { cfg_ = Config{}; }\n"}});
+  ASSERT_EQ(CountRule(result.findings, "shard-safety"), 1u);
+  EXPECT_NE(result.findings[0].message.find("classified read-only"),
+            std::string::npos);
+}
+
+TEST(LintShardSafety, NonSlotLoopFunctionsAreExempt) {
+  const auto result = Analyze(
+      {{"src/radio/network.cpp",
+        "void RadioNetwork::attach() { mystery_ += 1; }\n"}});
+  EXPECT_EQ(CountRule(result.findings, "shard-safety"), 0u);
+  EXPECT_TRUE(result.shard_safety.empty());
+}
+
+TEST(LintShardSafety, WaiverSuppressesTheFinding) {
+  const auto result = Analyze(
+      {{"src/radio/network.cpp",
+        "void RadioNetwork::step() {\n"
+        "  // radiomc-lint: allow(shard-safety) reason=migration in flight\n"
+        "  mystery_ += 1;\n"
+        "}\n"}});
+  EXPECT_EQ(Unwaived(result.findings), 0u);
+  EXPECT_EQ(CountRule(result.findings, "shard-safety", /*waived_only=*/true),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// radiomc.lint/v2 report round trip (through the real JSON parser).
+// ---------------------------------------------------------------------------
+
+TEST(LintReportV2, RoundTripsThroughTheJsonParser) {
+  const auto result = Analyze(
+      {{"src/radio/network.cpp",
+        "void RadioNetwork::step() {\n"
+        "  now_ += 1;\n"
+        "  mystery_ += 1;\n"
+        "}\n"},
+       {"src/support/rng_tags.h",
+        "inline constexpr std::uint64_t kA = 0x33;\n"},
+       {"src/alpha/a.h", "#include \"beta/b.h\"\n"}},
+      WithManifest(kTwoLayers));
+  std::ostringstream os;
+  radiomc::lint::write_json_report(os, result, /*wall_ms=*/1.5);
+
+  const auto parsed = radiomc::perf::parse_json(os.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const radiomc::perf::JsonValue& doc = parsed.value;
+  EXPECT_EQ(doc.at("schema").as_string(), "radiomc.lint/v2");
+
+  const auto& findings = doc.at("findings").items();
+  EXPECT_EQ(findings.size(), result.findings.size());
+  for (const auto& f : findings) {
+    EXPECT_FALSE(f.at("rule").as_string().empty());
+    EXPECT_FALSE(f.at("file").as_string().empty());
+  }
+
+  const auto& rows = doc.at("shard_safety").items();
+  ASSERT_EQ(rows.size(), result.shard_safety.size());
+  bool saw_unclassified = false;
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.at("class").as_string().empty());
+    if (r.at("class").as_string() == "unclassified") saw_unclassified = true;
+  }
+  EXPECT_TRUE(saw_unclassified);
+
+  const auto& tags = doc.at("rng_streams").at("tags").items();
+  ASSERT_EQ(tags.size(), result.rng_tags.size());
+  ASSERT_FALSE(tags.empty());
+  EXPECT_EQ(tags[0].at("value").as_string(), "0x33");
+
+  EXPECT_EQ(doc.at("layers").at("declared").as_int(), 2);
+  EXPECT_EQ(doc.at("layers").at("edges").as_int(), 1);
+
+  const auto& footer = doc.at("footer");
+  EXPECT_EQ(footer.at("files_scanned").as_int(), 3);
+  EXPECT_EQ(footer.at("total").as_int(),
+            static_cast<std::int64_t>(result.findings.size()));
+  EXPECT_NEAR(footer.at("wall_ms").as_double(), 1.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
 // The repo itself must lint clean (the CI gate, run as a test).
 // ---------------------------------------------------------------------------
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
 
 TEST(LintRepo, TreeHasNoUnwaivedFindings) {
   const std::vector<std::string> roots = {RADIOMC_SOURCE_DIR "/src",
@@ -664,13 +1086,34 @@ TEST(LintRepo, TreeHasNoUnwaivedFindings) {
                                           RADIOMC_SOURCE_DIR "/bench"};
   const auto files = radiomc::lint::load_tree(roots);
   ASSERT_GT(files.size(), 50u) << "load_tree found suspiciously few sources";
-  const auto findings = radiomc::lint::run_rules(files);
-  for (const Finding& f : findings) {
+  LintOptions opt;
+  opt.layers_manifest = ReadWholeFile(RADIOMC_SOURCE_DIR "/.lint-layers");
+  ASSERT_FALSE(opt.layers_manifest.empty())
+      << "repo layer manifest .lint-layers is missing";
+  const auto result = radiomc::lint::run_analyses(files, opt);
+  for (const Finding& f : result.findings) {
     if (!f.waived)
       ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
                     << f.message;
   }
-  EXPECT_EQ(Unwaived(findings), 0u);
+  EXPECT_EQ(Unwaived(result.findings), 0u);
+  // Every waiver in the tree must carry a reason.
+  for (const Finding& f : result.findings) {
+    if (f.waived)
+      EXPECT_FALSE(f.waiver_reason.empty())
+          << f.file << ":" << f.line << ": waiver without reason=";
+  }
+  // The shard-safety report must fully classify the live engine.
+  EXPECT_GE(result.shard_safety.size(), 20u);
+  for (const auto& r : result.shard_safety) {
+    EXPECT_NE(r.classification, "unclassified")
+        << r.owner << "::" << r.member;
+  }
+  // The tag registry is live and collision-free (collisions would have
+  // been findings above); the real tree splits streams in many places.
+  EXPECT_GE(result.rng_tags.size(), 15u);
+  EXPECT_GE(result.split_sites, 30u);
+  EXPECT_GE(result.layers_declared, 10u);
 }
 
 }  // namespace
